@@ -1,0 +1,54 @@
+//! E7d — model-checker cost per PCA interlock variant, plus state-space
+//! growth with the number of parallel timers (the documented
+//! exponential).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcps_safety::automaton::{Action, Automaton, Guard};
+use mcps_safety::checker::Network;
+use mcps_safety::models::{check_pca_variant, PcaModelVariant};
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker/pca_variant");
+    group.sample_size(20);
+    for variant in PcaModelVariant::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{variant:?}")),
+            &variant,
+            |b, &variant| b.iter(|| check_pca_variant(variant, 5_000_000)),
+        );
+    }
+    group.finish();
+}
+
+/// A chain of N independent timers each counting to `bound` — the
+/// reachable state space grows like `bound^N`.
+fn timer_chain(n: usize, bound: u32) -> Network {
+    let automata = (0..n)
+        .map(|i| {
+            let mut b = Automaton::builder(&format!("timer{i}"));
+            let x = b.clock("x");
+            let run = b.location("Run");
+            let done = b.location("Done");
+            b.invariant(run, Guard::Le(x, bound));
+            b.edge("fire", run, done, Guard::Ge(x, bound), Action::Internal, vec![x]);
+            b.edge("restart", done, run, Guard::True, Action::Internal, vec![x]);
+            b.build()
+        })
+        .collect();
+    Network::new(automata)
+}
+
+fn bench_state_space_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker/state_space_bound20");
+    group.sample_size(10);
+    for &n in &[1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let net = timer_chain(n, 20);
+            b.iter(|| net.check_safety(|_| false, 50_000_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_state_space_growth);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E7b — network-fabric throughput: publish planning with growing
+//! subscriber counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcps_net::fabric::{Fabric, Topic};
+use mcps_net::qos::LinkQos;
+use mcps_sim::rng::RngFactory;
+use mcps_sim::time::SimTime;
+
+fn bench_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric/publish_per_msg");
+    for &subs in &[1usize, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(subs), &subs, |b, &subs| {
+            let mut fabric = Fabric::new();
+            fabric.set_default_qos(LinkQos::wifi());
+            let publisher = fabric.add_endpoint("pub");
+            let topic = Topic::new("vitals/spo2");
+            for i in 0..subs {
+                let ep = fabric.add_endpoint(&format!("sub{i}"));
+                fabric.subscribe(ep, topic.clone());
+            }
+            let mut rng = RngFactory::new(1).stream("bench");
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 1;
+                fabric.publish(publisher, &topic, SimTime::from_millis(t), &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_unicast(c: &mut Criterion) {
+    c.bench_function("fabric/unicast_per_msg", |b| {
+        let mut fabric = Fabric::new();
+        fabric.set_default_qos(LinkQos::wired());
+        let a = fabric.add_endpoint("a");
+        let z = fabric.add_endpoint("z");
+        let mut rng = RngFactory::new(1).stream("bench");
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            fabric.unicast(a, z, SimTime::from_millis(t), &mut rng)
+        })
+    });
+}
+
+criterion_group!(benches, bench_publish, bench_unicast);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! E7a — simulation-kernel event throughput.
+//!
+//! Measures raw event dispatch (single self-scheduling actor) and
+//! fan-out cost (one producer driving N consumers), establishing the
+//! platform budget that makes cohort-scale experiments feasible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcps_sim::prelude::*;
+
+struct Counter {
+    n: u64,
+    limit: u64,
+}
+
+impl Actor<()> for Counter {
+    fn handle(&mut self, _msg: (), ctx: &mut Context<'_, ()>) {
+        self.n += 1;
+        if self.n < self.limit {
+            ctx.schedule_self(SimDuration::from_millis(1), ());
+        }
+    }
+}
+
+struct Broadcaster {
+    targets: Vec<ActorId>,
+    rounds: u64,
+}
+
+struct Sink {
+    received: u64,
+}
+
+#[derive(Clone)]
+enum Fan {
+    Tick,
+    Data,
+}
+
+impl Actor<Fan> for Broadcaster {
+    fn handle(&mut self, msg: Fan, ctx: &mut Context<'_, Fan>) {
+        if matches!(msg, Fan::Tick) && self.rounds > 0 {
+            self.rounds -= 1;
+            for &t in &self.targets {
+                ctx.send(t, Fan::Data);
+            }
+            ctx.schedule_self(SimDuration::from_millis(1), Fan::Tick);
+        }
+    }
+}
+
+impl Actor<Fan> for Sink {
+    fn handle(&mut self, msg: Fan, _ctx: &mut Context<'_, Fan>) {
+        if matches!(msg, Fan::Data) {
+            self.received += 1;
+        }
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    c.bench_function("kernel/self_schedule_100k_events", |b| {
+        b.iter(|| {
+            let mut sim: Simulation<()> = Simulation::new(0);
+            sim.trace_mut().set_enabled(false);
+            let id = sim.add_actor("counter", Counter { n: 0, limit: 100_000 });
+            sim.schedule(SimTime::ZERO, id, ());
+            sim.run();
+            assert_eq!(sim.events_processed(), 100_000);
+        })
+    });
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/fanout_1000_rounds");
+    for &n in &[1usize, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim: Simulation<Fan> = Simulation::new(0);
+                sim.trace_mut().set_enabled(false);
+                let targets: Vec<ActorId> = (0..n)
+                    .map(|i| sim.add_actor(&format!("sink{i}"), Sink { received: 0 }))
+                    .collect();
+                let b_id = sim.add_actor("bcast", Broadcaster { targets, rounds: 1_000 });
+                sim.schedule(SimTime::ZERO, b_id, Fan::Tick);
+                sim.run();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_fanout);
+criterion_main!(benches);

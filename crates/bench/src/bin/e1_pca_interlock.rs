@@ -1,0 +1,207 @@
+//! E1 — PCA safety-interlock efficacy (DESIGN.md, claim C1).
+//!
+//! A cohort of virtual post-operative patients receives PCA opioid
+//! therapy with a proxy-press hazard (a relative pressing the demand
+//! button while the patient is sedated). Three arms:
+//!
+//! * `open-loop` — conventional pump, no supervision (pre-MCPS),
+//! * `threshold-command` — command interlock driven by threshold alarms,
+//! * `fusion-ticket` — fail-safe ticket interlock driven by the fusion
+//!   detector (the paper's target design),
+//! * `trend-ticket` — fusion plus slope-based early detection.
+//!
+//! Expected shape: the closed-loop arms eliminate (or nearly eliminate)
+//! severe hypoxaemic events that the open-loop arm suffers, while
+//! keeping analgesia available.
+//!
+//! Usage: `e1_pca_interlock [--patients N] [--hours H] [--proxy P] [--seed S]`
+
+use mcps_bench::{fnum, parallel_map, Args, Table};
+use mcps_control::interlock::{DetectorKind, InterlockConfig, InterlockStrategy};
+use mcps_core::scenarios::pca::{run_pca_scenario, PcaScenarioConfig};
+use mcps_patient::cohort::{CohortConfig, CohortGenerator};
+use mcps_sim::stats::Summary;
+use mcps_sim::time::SimDuration;
+
+struct ArmResult {
+    name: &'static str,
+    severe_events: u32,
+    patients_with_severe: u32,
+    secs_below_severe: Vec<f64>,
+    min_spo2: Vec<f64>,
+    mean_pain: Vec<f64>,
+    frac_analgesia: Vec<f64>,
+    drug_mg: Vec<f64>,
+    stop_latencies: Vec<f64>,
+}
+
+fn run_arm(
+    name: &'static str,
+    interlock: Option<InterlockConfig>,
+    patients: u64,
+    hours: f64,
+    proxy: f64,
+    seed: u64,
+) -> ArmResult {
+    let cohort = CohortGenerator::new(seed, CohortConfig::default());
+    let mut res = ArmResult {
+        name,
+        severe_events: 0,
+        patients_with_severe: 0,
+        secs_below_severe: Vec::new(),
+        min_spo2: Vec::new(),
+        mean_pain: Vec::new(),
+        frac_analgesia: Vec::new(),
+        drug_mg: Vec::new(),
+        stop_latencies: Vec::new(),
+    };
+    let outcomes = parallel_map((0..patients).collect(), |i| {
+        let params = cohort.params(i);
+        let mut cfg = match interlock {
+            Some(il) => {
+                let mut c = PcaScenarioConfig::baseline(seed.wrapping_add(i), params);
+                c.interlock = Some(il);
+                c.pump.ticket_mode =
+                    matches!(il.strategy, InterlockStrategy::Ticket { .. });
+                c
+            }
+            None => PcaScenarioConfig::open_loop(seed.wrapping_add(i), params),
+        };
+        cfg.duration = SimDuration::from_secs_f64(hours * 3600.0);
+        cfg.proxy_rate_per_hour = proxy;
+        run_pca_scenario(&cfg)
+    });
+    for out in outcomes {
+        res.severe_events += out.patient.severe_hypox_events;
+        if out.patient.severe_hypox_events > 0 {
+            res.patients_with_severe += 1;
+        }
+        res.secs_below_severe.push(out.patient.secs_below_severe);
+        res.min_spo2.push(out.patient.min_spo2);
+        res.mean_pain.push(out.patient.mean_pain);
+        res.frac_analgesia.push(out.patient.frac_adequate_analgesia);
+        res.drug_mg.push(out.total_drug_mg);
+        if let Some(l) = out.stop_latency_secs {
+            res.stop_latencies.push(l);
+        }
+    }
+    res
+}
+
+fn main() {
+    let args = Args::parse();
+    let patients = args.get_u64("patients", if args.has_flag("quick") { 12 } else { 60 });
+    let hours = args.get_f64("hours", if args.has_flag("quick") { 1.0 } else { 3.0 });
+    let proxy = args.get_f64("proxy", 4.0);
+    let seed = args.get_u64("seed", 42);
+
+    println!("E1: PCA interlock efficacy — {patients} patients × {hours} h, proxy {proxy}/h, seed {seed}\n");
+
+    let arms = [
+        run_arm("open-loop", None, patients, hours, proxy, seed),
+        run_arm(
+            "threshold-command",
+            Some(InterlockConfig {
+                strategy: InterlockStrategy::Command,
+                detector: DetectorKind::Threshold,
+                ..InterlockConfig::default()
+            }),
+            patients,
+            hours,
+            proxy,
+            seed,
+        ),
+        run_arm(
+            "fusion-ticket",
+            Some(InterlockConfig::default()),
+            patients,
+            hours,
+            proxy,
+            seed,
+        ),
+        run_arm(
+            "trend-ticket",
+            Some(InterlockConfig {
+                detector: DetectorKind::FusionWithTrend,
+                ..InterlockConfig::default()
+            }),
+            patients,
+            hours,
+            proxy,
+            seed,
+        ),
+    ];
+
+    let mut t = Table::new([
+        "arm",
+        "severe events",
+        "patients w/ severe",
+        "mean s<85%",
+        "median minSpO2",
+        "mean pain",
+        "analgesia frac",
+        "mean drug mg",
+        "stop latency p95 s",
+    ]);
+    for a in &arms {
+        let sev = Summary::from_values(&a.secs_below_severe);
+        let spo2 = Summary::from_values(&a.min_spo2);
+        let pain = Summary::from_values(&a.mean_pain);
+        let anal = Summary::from_values(&a.frac_analgesia);
+        let drug = Summary::from_values(&a.drug_mg);
+        let lat = Summary::from_values(&a.stop_latencies);
+        t.row([
+            a.name.to_owned(),
+            a.severe_events.to_string(),
+            format!("{}/{}", a.patients_with_severe, patients),
+            fnum(sev.mean),
+            fnum(spo2.median),
+            fnum(pain.mean),
+            fnum(anal.mean),
+            fnum(drug.mean),
+            if a.stop_latencies.is_empty() { "-".into() } else { fnum(lat.p95) },
+        ]);
+    }
+    t.print();
+
+    let open = &arms[0];
+    let threshold = &arms[1];
+    let ticket = &arms[2];
+    let trend = &arms[3];
+    let mean = |v: &[f64]| Summary::from_values(v).mean;
+    let open_severe = mean(&open.secs_below_severe);
+    let thr_severe = mean(&threshold.secs_below_severe);
+    let tkt_severe = mean(&ticket.secs_below_severe);
+    let safety_ok = open_severe > 0.0
+        && thr_severe <= open_severe / 5.0
+        && tkt_severe <= open_severe / 5.0;
+    let availability_ok =
+        mean(&ticket.frac_analgesia) >= mean(&open.frac_analgesia) - 0.05;
+    println!();
+    println!(
+        "severe-hypoxaemia patient-time: open {:.0}s, threshold-command {:.0}s ({:.0}x less), \
+         fusion-ticket {:.0}s ({:.0}x less)",
+        open_severe,
+        thr_severe,
+        if thr_severe > 0.0 { open_severe / thr_severe } else { f64::INFINITY },
+        tkt_severe,
+        if tkt_severe > 0.0 { open_severe / tkt_severe } else { f64::INFINITY },
+    );
+    let trend_severe = mean(&trend.secs_below_severe);
+    if safety_ok && availability_ok {
+        println!(
+            "SHAPE OK: both interlocks cut severe-hypoxaemia time >=5x; the fusion-ticket arm \
+             additionally preserves analgesia availability ({:.2} vs open {:.2}, threshold {:.2}); \
+             adding trend detection tightens severe time further ({:.0}s -> {:.0}s).",
+            mean(&ticket.frac_analgesia),
+            mean(&open.frac_analgesia),
+            mean(&threshold.frac_analgesia),
+            tkt_severe,
+            trend_severe
+        );
+    } else {
+        println!(
+            "SHAPE WARNING: safety_ok={safety_ok} availability_ok={availability_ok} — see table."
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Shared infrastructure for the experiment binaries.
+//!
+//! Each `e*` binary regenerates one experiment from DESIGN.md and
+//! prints its table(s). This crate provides the tiny pieces they share:
+//! a fixed-width table printer and a no-dependency CLI argument parser.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::num::NonZeroUsize;
+
+/// Maps `f` over `items` on a small worker pool, preserving order.
+/// Scenario runs are pure and independent, so cohort experiments
+/// parallelize trivially; this keeps the full-size tables fast.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, T)>();
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, R)>();
+    let n = items.len();
+    for pair in items.into_iter().enumerate() {
+        job_tx.send(pair).expect("queue open");
+    }
+    drop(job_tx);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok((i, item)) = job_rx.recv() {
+                    let _ = res_tx.send((i, f(item)));
+                }
+            });
+        }
+        drop(res_tx);
+        while let Ok((i, r)) = res_rx.recv() {
+            out[i] = Some(r);
+        }
+    });
+    out.into_iter().map(|r| r.expect("every job completes")).collect()
+}
+
+/// A minimal fixed-width table printer for experiment output.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<w$}  ", c, w = widths[i]);
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Parses `--key value` and `--flag` arguments.
+///
+/// ```
+/// use mcps_bench::Args;
+/// let args = Args::parse_from(["--patients", "40", "--quick"].iter().map(|s| s.to_string()));
+/// assert_eq!(args.get_u64("patients", 10), 40);
+/// assert!(args.has_flag("quick"));
+/// assert_eq!(args.get_f64("loss", 0.5), 0.5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process's own arguments.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (for tests).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else { continue };
+            match iter.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    out.values.insert(key.to_owned(), iter.next().unwrap());
+                }
+                _ => out.flags.push(key.to_owned()),
+            }
+        }
+        out
+    }
+
+    /// A `u64` value or its default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// An `f64` value or its default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Whether a bare flag was passed.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// Formats a float compactly for tables.
+pub fn fnum(x: f64) -> String {
+    if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(["arm", "events"]);
+        t.row(["open-loop", "12"]);
+        t.row(["ticket-interlock", "0"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("arm"));
+        assert!(lines[2].starts_with("open-loop"));
+        let col = lines[0].find("events").unwrap();
+        assert_eq!(&lines[2][col..col + 2], "12");
+    }
+
+    #[test]
+    fn args_parse_values_and_flags() {
+        let a = Args::parse_from(
+            ["--n", "5", "--quick", "--rate", "2.5"].iter().map(|s| s.to_string()),
+        );
+        assert_eq!(a.get_u64("n", 0), 5);
+        assert!((a.get_f64("rate", 0.0) - 2.5).abs() < 1e-12);
+        assert!(a.has_flag("quick"));
+        assert!(!a.has_flag("missing"));
+        assert_eq!(a.get_u64("absent", 7), 7);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_results() {
+        let items: Vec<u64> = (0..200).collect();
+        let out = parallel_map(items.clone(), |x| x * x);
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        assert_eq!(parallel_map(Vec::<u8>::new(), |x| x), Vec::<u8>::new());
+        assert_eq!(parallel_map(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn fnum_scales_precision() {
+        assert_eq!(fnum(1234.5), "1234");
+        assert_eq!(fnum(12.34), "12.3");
+        assert_eq!(fnum(1.234), "1.23");
+    }
+}

@@ -1,0 +1,163 @@
+//! A discrete PI(D) controller with output clamping and anti-windup.
+
+use serde::{Deserialize, Serialize};
+
+/// PID gains and output limits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PidConfig {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain (per second).
+    pub ki: f64,
+    /// Derivative gain (seconds).
+    pub kd: f64,
+    /// Minimum output.
+    pub out_min: f64,
+    /// Maximum output.
+    pub out_max: f64,
+}
+
+impl PidConfig {
+    /// Validates gains and limits.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.out_min.is_finite() && self.out_max.is_finite() && self.out_min < self.out_max) {
+            return Err(format!("output limits invalid: [{}, {}]", self.out_min, self.out_max));
+        }
+        for (n, v) in [("kp", self.kp), ("ki", self.ki), ("kd", self.kd)] {
+            if !v.is_finite() {
+                return Err(format!("gain {n} must be finite, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The controller state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pid {
+    config: PidConfig,
+    integral: f64,
+    last_error: Option<f64>,
+}
+
+impl Pid {
+    /// Creates a controller at rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`PidConfig::validate`].
+    pub fn new(config: PidConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid PID config: {e}");
+        }
+        Pid { config, integral: 0.0, last_error: None }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PidConfig {
+        &self.config
+    }
+
+    /// One control step: `error = setpoint − measurement`, `dt_secs`
+    /// since the previous step. Returns the clamped output.
+    pub fn step(&mut self, error: f64, dt_secs: f64) -> f64 {
+        debug_assert!(dt_secs > 0.0);
+        let p = self.config.kp * error;
+        let d = match self.last_error {
+            Some(prev) => self.config.kd * (error - prev) / dt_secs,
+            None => 0.0,
+        };
+        self.last_error = Some(error);
+        // Tentative integral; wound back if the output saturates in the
+        // same direction (clamping anti-windup).
+        let tentative_integral = self.integral + error * dt_secs;
+        let unclamped = p + self.config.ki * tentative_integral + d;
+        let out = unclamped.clamp(self.config.out_min, self.config.out_max);
+        let saturated_same_direction = (unclamped > self.config.out_max && error > 0.0)
+            || (unclamped < self.config.out_min && error < 0.0);
+        if !saturated_same_direction {
+            self.integral = tentative_integral;
+        }
+        out
+    }
+
+    /// Resets dynamic state (integral and derivative memory).
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.last_error = None;
+    }
+
+    /// The accumulated integral term (diagnostic).
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> PidConfig {
+        PidConfig { kp: 2.0, ki: 0.5, kd: 0.1, out_min: -10.0, out_max: 10.0 }
+    }
+
+    #[test]
+    fn proportional_action() {
+        let mut pid = Pid::new(PidConfig { ki: 0.0, kd: 0.0, ..config() });
+        assert!((pid.step(1.0, 1.0) - 2.0).abs() < 1e-12);
+        assert!((pid.step(-2.0, 1.0) + 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_accumulates() {
+        let mut pid = Pid::new(PidConfig { kp: 0.0, kd: 0.0, ..config() });
+        let o1 = pid.step(1.0, 1.0);
+        let o2 = pid.step(1.0, 1.0);
+        assert!(o2 > o1, "integral should grow: {o1} {o2}");
+    }
+
+    #[test]
+    fn derivative_damps_change() {
+        let mut pid = Pid::new(PidConfig { kp: 0.0, ki: 0.0, kd: 1.0, ..config() });
+        pid.step(0.0, 1.0);
+        let out = pid.step(2.0, 1.0);
+        assert!((out - 2.0).abs() < 1e-12, "d = (2-0)/1 * kd");
+    }
+
+    #[test]
+    fn output_clamped_and_antiwindup_holds() {
+        let mut pid = Pid::new(PidConfig { kp: 0.0, ki: 1.0, kd: 0.0, ..config() });
+        // Large persistent error: output saturates at 10.
+        for _ in 0..100 {
+            assert!(pid.step(100.0, 1.0) <= 10.0);
+        }
+        // Integral must not have wound far past the saturation point:
+        // when the error flips, recovery is quick.
+        let mut steps_to_recover = 0;
+        loop {
+            let out = pid.step(-100.0, 1.0);
+            steps_to_recover += 1;
+            if out <= 0.0 || steps_to_recover > 10 {
+                break;
+            }
+        }
+        assert!(steps_to_recover <= 2, "anti-windup failed: {steps_to_recover} steps");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut pid = Pid::new(config());
+        pid.step(5.0, 1.0);
+        pid.reset();
+        assert_eq!(pid.integral(), 0.0);
+        let out = pid.step(1.0, 1.0);
+        // No derivative kick after reset.
+        assert!((out - (2.0 + 0.5)).abs() < 1e-9, "got {out}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid PID config")]
+    fn bad_limits_panic() {
+        let _ = Pid::new(PidConfig { out_min: 1.0, out_max: 1.0, ..config() });
+    }
+}

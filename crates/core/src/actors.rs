@@ -1,0 +1,610 @@
+//! Actor wrappers that put devices on the ICE network.
+//!
+//! Each wrapper owns a pure device state machine from `mcps-device`,
+//! drives it with self-scheduled ticks, and connects it to the network
+//! controller: monitors publish vitals to topics, the pump consumes
+//! supervisor commands, and all devices announce their capability
+//! profile at power-on so the device manager can associate them.
+
+use mcps_device::faults::FaultPlan;
+use mcps_device::monitor::VitalsMonitor;
+use mcps_device::pump::{BolusDecision, PcaPump};
+use mcps_device::ventilator::Ventilator;
+use mcps_device::xray::XRayMachine;
+use mcps_net::fabric::EndpointId;
+use mcps_patient::vitals::VitalKind;
+use mcps_sim::actor::{Actor, ActorId};
+use mcps_sim::kernel::Context;
+use mcps_sim::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+use crate::body::PatientBody;
+use crate::msg::{IceCommand, IceMsg, NetAddress, NetOp, NetPayload};
+use crate::netctl::topics;
+
+/// How often devices repeat their capability announcement. Announces
+/// are idempotent (the device manager ignores duplicates) and may be
+/// lost, so devices re-offer themselves periodically — the on-demand
+/// equivalent of a discovery beacon.
+const ANNOUNCE_PERIOD: SimDuration = SimDuration::from_secs(10);
+
+fn announce(
+    ctx: &mut Context<'_, IceMsg>,
+    netctl: ActorId,
+    endpoint: EndpointId,
+    scope: &str,
+    profile: mcps_device::profile::DeviceProfile,
+) {
+    ctx.send(
+        netctl,
+        IceMsg::Net(NetOp::Send {
+            from: endpoint,
+            to: NetAddress::Topic(topics::announce_scoped(scope)),
+            payload: NetPayload::Announce { profile, endpoint },
+        }),
+    );
+}
+
+/// The PCA pump on the network.
+#[derive(Debug)]
+pub struct PumpActor {
+    pump: PcaPump,
+    body: PatientBody,
+    netctl: ActorId,
+    endpoint: EndpointId,
+    step: SimDuration,
+    scope: String,
+    next_announce: Option<SimTime>,
+    was_permitted: bool,
+    /// Transitions of the delivery-permission state: `(instant, permitted)`.
+    permit_log: Vec<(SimTime, bool)>,
+    decisions: BTreeMap<&'static str, u32>,
+}
+
+impl PumpActor {
+    /// Wraps a pump attached to `body`, reachable via `endpoint`.
+    pub fn new(pump: PcaPump, body: PatientBody, netctl: ActorId, endpoint: EndpointId) -> Self {
+        PumpActor {
+            pump,
+            body,
+            netctl,
+            endpoint,
+            step: SimDuration::from_secs(1),
+            scope: String::new(),
+            next_announce: None,
+            was_permitted: false,
+            permit_log: Vec::new(),
+            decisions: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the topic scope (bed id) this pump announces under.
+    pub fn with_scope(mut self, scope: &str) -> Self {
+        self.scope = scope.to_owned();
+        self
+    }
+
+    /// The wrapped pump.
+    pub fn pump(&self) -> &PcaPump {
+        &self.pump
+    }
+
+    /// Bolus decision counts, keyed by decision name.
+    pub fn decisions(&self) -> &BTreeMap<&'static str, u32> {
+        &self.decisions
+    }
+
+    /// Transitions of the delivery-permission state, oldest first.
+    pub fn permit_log(&self) -> &[(SimTime, bool)] {
+        &self.permit_log
+    }
+
+    /// Whether delivery was permitted at `at`, per the transition log
+    /// (pumps start unpermitted in ticket mode, permitted otherwise;
+    /// the log's first entry reflects the first observed state).
+    pub fn was_permitted_at(&self, at: SimTime) -> bool {
+        self.permit_log
+            .iter()
+            .take_while(|(t, _)| *t <= at)
+            .last()
+            .map(|(_, p)| *p)
+            .unwrap_or(false)
+    }
+
+    /// First instant at or after `at` at which delivery became
+    /// disallowed — used to measure interlock response latency.
+    pub fn first_stop_at_or_after(&self, at: SimTime) -> Option<SimTime> {
+        self.permit_log.iter().find(|(t, p)| *t >= at && !p).map(|(t, _)| *t)
+    }
+
+    fn record_decision(&mut self, d: BolusDecision) {
+        let key = match d {
+            BolusDecision::Started => "started",
+            BolusDecision::LockedOut => "locked-out",
+            BolusDecision::HourlyLimit => "hourly-limit",
+            BolusDecision::Stopped => "stopped",
+            BolusDecision::NoTicket => "no-ticket",
+        };
+        *self.decisions.entry(key).or_insert(0) += 1;
+    }
+}
+
+impl Actor<IceMsg> for PumpActor {
+    fn handle(&mut self, msg: IceMsg, ctx: &mut Context<'_, IceMsg>) {
+        let now = ctx.now();
+        match msg {
+            IceMsg::Tick => {
+                if self.next_announce.is_none_or(|t| now >= t) {
+                    self.next_announce = Some(now + ANNOUNCE_PERIOD);
+                    announce(
+                        ctx,
+                        self.netctl,
+                        self.endpoint,
+                        &self.scope,
+                        PcaPump::profile("PUMP-1", self.pump.config().ticket_mode),
+                    );
+                }
+                let delivered = self.pump.delivered_since_last(now);
+                if delivered > 0.0 {
+                    self.body.infuse(delivered);
+                }
+                let permitted = self.pump.is_permitted(now);
+                if self.was_permitted != permitted {
+                    self.permit_log.push((now, permitted));
+                    ctx.trace(
+                        "pump",
+                        if permitted { "delivery allowed" } else { "delivery disallowed" },
+                    );
+                }
+                self.was_permitted = permitted;
+                ctx.schedule_self(self.step, IceMsg::Tick);
+            }
+            IceMsg::PressButton => {
+                let d = self.pump.request_bolus(now);
+                self.record_decision(d);
+                ctx.trace("pump", format!("bolus request: {d:?}"));
+            }
+            IceMsg::Net(NetOp::Deliver { from, payload: NetPayload::Command(cmd) }) => {
+                match cmd {
+                    IceCommand::StopPump => {
+                        self.pump.stop(now, mcps_device::pump::StopReason::Command);
+                        ctx.trace("pump", "stop command applied");
+                    }
+                    IceCommand::ResumePump => {
+                        self.pump.resume(now);
+                        ctx.trace("pump", "resume command applied");
+                    }
+                    IceCommand::GrantTicket { validity } => {
+                        self.pump.grant_ticket(now, validity);
+                    }
+                    _ => return, // not a pump command
+                }
+                ctx.send(
+                    self.netctl,
+                    IceMsg::Net(NetOp::Send {
+                        from: self.endpoint,
+                        to: NetAddress::Endpoint(from),
+                        payload: NetPayload::Ack { command: cmd, applied_at: now },
+                    }),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A monitoring device (pulse oximeter, capnograph, …) on the network.
+#[derive(Debug)]
+pub struct MonitorActor {
+    monitor: VitalsMonitor,
+    body: PatientBody,
+    netctl: ActorId,
+    endpoint: EndpointId,
+    fault: FaultPlan,
+    scope: String,
+    next_announce: Option<SimTime>,
+    last_values: BTreeMap<VitalKind, f64>,
+    published: u64,
+}
+
+impl MonitorActor {
+    /// Wraps a monitor sampling `body`, publishing via `endpoint`.
+    pub fn new(
+        monitor: VitalsMonitor,
+        body: PatientBody,
+        netctl: ActorId,
+        endpoint: EndpointId,
+        fault: FaultPlan,
+    ) -> Self {
+        MonitorActor {
+            monitor,
+            body,
+            netctl,
+            endpoint,
+            fault,
+            scope: String::new(),
+            next_announce: None,
+            last_values: BTreeMap::new(),
+            published: 0,
+        }
+    }
+
+    /// Sets the topic scope (bed id) this monitor publishes under.
+    pub fn with_scope(mut self, scope: &str) -> Self {
+        self.scope = scope.to_owned();
+        self
+    }
+
+    /// Data points published so far.
+    pub fn published(&self) -> u64 {
+        self.published
+    }
+
+    fn publish(&mut self, ctx: &mut Context<'_, IceMsg>, kind: VitalKind, value: f64, at: SimTime) {
+        self.published += 1;
+        ctx.send(
+            self.netctl,
+            IceMsg::Net(NetOp::Send {
+                from: self.endpoint,
+                to: NetAddress::Topic(topics::vitals_scoped(&self.scope, kind)),
+                payload: NetPayload::Data { kind, value, sampled_at: at },
+            }),
+        );
+    }
+}
+
+impl Actor<IceMsg> for MonitorActor {
+    fn handle(&mut self, msg: IceMsg, ctx: &mut Context<'_, IceMsg>) {
+        if msg != IceMsg::Tick {
+            return;
+        }
+        let now = ctx.now();
+        // A crashed device does not even announce; silent/stuck devices
+        // keep their network stack alive.
+        if !self.fault.is_crashed(now) && self.next_announce.is_none_or(|t| now >= t) {
+            self.next_announce = Some(now + ANNOUNCE_PERIOD);
+            let profile = self.monitor.profile().clone();
+            announce(ctx, self.netctl, self.endpoint, &self.scope, profile);
+        }
+        let period = self.monitor.sample_period();
+        if self.fault.is_data_suppressed(now) {
+            // Crashed or silent: nothing goes out (the freshness
+            // monitors upstream are what must catch this).
+            ctx.schedule_self(period, IceMsg::Tick);
+            return;
+        }
+        if self.fault.is_stuck(now) {
+            // Stuck-at fault: keep re-publishing the last values with
+            // fresh timestamps — the insidious case.
+            for (kind, value) in self.last_values.clone() {
+                self.publish(ctx, kind, value, now);
+            }
+            ctx.schedule_self(period, IceMsg::Tick);
+            return;
+        }
+        let truth = self.body.vitals();
+        let measurements = self.monitor.sample(now, &truth, ctx.rng());
+        for m in measurements {
+            self.last_values.insert(m.kind, m.value);
+            self.publish(ctx, m.kind, m.value, m.at);
+        }
+        ctx.schedule_self(period, IceMsg::Tick);
+    }
+}
+
+/// The ventilator on the network.
+#[derive(Debug)]
+pub struct VentilatorActor {
+    vent: Ventilator,
+    netctl: ActorId,
+    endpoint: EndpointId,
+    next_announce: Option<SimTime>,
+}
+
+impl VentilatorActor {
+    /// Wraps a ventilator reachable via `endpoint`.
+    pub fn new(vent: Ventilator, netctl: ActorId, endpoint: EndpointId) -> Self {
+        VentilatorActor { vent, netctl, endpoint, next_announce: None }
+    }
+
+    /// The wrapped ventilator.
+    pub fn ventilator(&self) -> &Ventilator {
+        &self.vent
+    }
+
+    /// Mutable access (scenario scoring).
+    pub fn ventilator_mut(&mut self) -> &mut Ventilator {
+        &mut self.vent
+    }
+}
+
+impl Actor<IceMsg> for VentilatorActor {
+    fn handle(&mut self, msg: IceMsg, ctx: &mut Context<'_, IceMsg>) {
+        let now = ctx.now();
+        match msg {
+            IceMsg::Tick => {
+                if self.next_announce.is_none_or(|t| now >= t) {
+                    self.next_announce = Some(now + ANNOUNCE_PERIOD);
+                    announce(ctx, self.netctl, self.endpoint, "", Ventilator::profile("VENT-1"));
+                }
+                self.vent.poll(now);
+                ctx.schedule_self(SimDuration::from_millis(250), IceMsg::Tick);
+            }
+            IceMsg::Net(NetOp::Deliver { from, payload: NetPayload::Command(cmd) }) => {
+                match cmd {
+                    IceCommand::PauseVentilation { duration } => {
+                        let out = self.vent.pause(now, duration);
+                        ctx.trace("vent", format!("pause -> {out:?}"));
+                    }
+                    IceCommand::ResumeVentilation => {
+                        self.vent.resume(now);
+                        ctx.trace("vent", "resumed");
+                    }
+                    _ => return,
+                }
+                ctx.send(
+                    self.netctl,
+                    IceMsg::Net(NetOp::Send {
+                        from: self.endpoint,
+                        to: NetAddress::Endpoint(from),
+                        payload: NetPayload::Ack { command: cmd, applied_at: now },
+                    }),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The x-ray machine on the network.
+#[derive(Debug)]
+pub struct XRayActor {
+    xray: XRayMachine,
+    netctl: ActorId,
+    endpoint: EndpointId,
+    next_announce: Option<SimTime>,
+}
+
+impl XRayActor {
+    /// Wraps an x-ray machine reachable via `endpoint`.
+    pub fn new(xray: XRayMachine, netctl: ActorId, endpoint: EndpointId) -> Self {
+        XRayActor { xray, netctl, endpoint, next_announce: None }
+    }
+
+    /// The wrapped machine.
+    pub fn xray(&self) -> &XRayMachine {
+        &self.xray
+    }
+}
+
+impl Actor<IceMsg> for XRayActor {
+    fn handle(&mut self, msg: IceMsg, ctx: &mut Context<'_, IceMsg>) {
+        let now = ctx.now();
+        match msg {
+            IceMsg::Tick => {
+                if self.next_announce.is_none_or(|t| now >= t) {
+                    self.next_announce = Some(now + ANNOUNCE_PERIOD);
+                    announce(ctx, self.netctl, self.endpoint, "", XRayMachine::profile("XR-1"));
+                }
+                ctx.schedule_self(ANNOUNCE_PERIOD, IceMsg::Tick);
+            }
+            IceMsg::Net(NetOp::Deliver { from, payload: NetPayload::Command(cmd) }) => {
+                match cmd {
+                    IceCommand::ArmExposure => {
+                        self.xray.arm();
+                        ctx.trace("xray", "armed");
+                    }
+                    IceCommand::Expose => match self.xray.expose(now) {
+                        Some(e) => ctx.trace("xray", format!("exposure {} .. {}", e.start, e.end)),
+                        None => ctx.trace("xray", "expose refused (not armed)"),
+                    },
+                    _ => return,
+                }
+                ctx.send(
+                    self.netctl,
+                    IceMsg::Net(NetOp::Send {
+                        from: self.endpoint,
+                        to: NetAddress::Endpoint(from),
+                        payload: NetPayload::Ack { command: cmd, applied_at: now },
+                    }),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::PatientBody;
+    
+    use crate::netctl::NetworkController;
+    use mcps_device::monitor::pulse_oximeter;
+    use mcps_device::pump::{PcaPumpConfig, PumpState};
+    use mcps_device::ventilator::VentilatorConfig;
+    use mcps_device::xray::XRayConfig;
+    use mcps_net::fabric::Fabric;
+    use mcps_net::qos::LinkQos;
+    use mcps_patient::patient::{PatientParams, VirtualPatient};
+    use mcps_sim::kernel::Simulation;
+
+    /// Records network deliveries addressed to it.
+    #[derive(Debug, Default)]
+    struct Sink {
+        announces: u32,
+        data: u32,
+        acks: u32,
+    }
+
+    impl Actor<IceMsg> for Sink {
+        fn handle(&mut self, msg: IceMsg, _ctx: &mut Context<'_, IceMsg>) {
+            if let IceMsg::Net(NetOp::Deliver { payload, .. }) = msg {
+                match payload {
+                    NetPayload::Announce { .. } => self.announces += 1,
+                    NetPayload::Data { .. } => self.data += 1,
+                    NetPayload::Ack { .. } => self.acks += 1,
+                    NetPayload::Command(_) => {}
+                }
+            }
+        }
+    }
+
+    struct Rig {
+        sim: Simulation<IceMsg>,
+        nc_id: ActorId,
+        sink_id: ActorId,
+        dev_ep: EndpointId,
+        sup_ep: EndpointId,
+        body: PatientBody,
+    }
+
+    fn rig() -> Rig {
+        let mut fabric = Fabric::new();
+        fabric.set_default_qos(LinkQos::ideal());
+        let dev_ep = fabric.add_endpoint("device");
+        let sup_ep = fabric.add_endpoint("supervisor");
+        fabric.subscribe(sup_ep, crate::netctl::topics::announce());
+        for kind in mcps_patient::vitals::VitalKind::ALL {
+            fabric.subscribe(sup_ep, crate::netctl::topics::vitals(kind));
+        }
+        let mut sim: Simulation<IceMsg> = Simulation::new(9);
+        let nc_id = sim.add_actor("netctl", NetworkController::new(fabric));
+        let sink_id = sim.add_actor("sink", Sink::default());
+        sim.actor_as_mut::<NetworkController>(nc_id).unwrap().bind(sup_ep, sink_id);
+        let body = PatientBody::new(VirtualPatient::new(PatientParams::default()));
+        Rig { sim, nc_id, sink_id, dev_ep, sup_ep, body }
+    }
+
+    #[test]
+    fn monitor_actor_announces_and_publishes() {
+        let mut r = rig();
+        let m = MonitorActor::new(
+            pulse_oximeter("T-1"),
+            r.body.clone(),
+            r.nc_id,
+            r.dev_ep,
+            FaultPlan::none(),
+        );
+        let m_id = r.sim.add_actor("oximeter", m);
+        r.sim.actor_as_mut::<NetworkController>(r.nc_id).unwrap().bind(r.dev_ep, m_id);
+        r.sim.schedule(SimTime::ZERO, m_id, IceMsg::Tick);
+        r.sim.run_until(SimTime::from_secs(30));
+        let sink = r.sim.actor_as::<Sink>(r.sink_id).unwrap();
+        // Re-announces every 10 s: t=0,10,20,30 ⇒ up to 4.
+        assert!((3..=4).contains(&sink.announces), "announces {}", sink.announces);
+        assert!(sink.data > 40, "expected ~2 channels x 30 samples, got {}", sink.data);
+        assert!(r.sim.actor_as::<MonitorActor>(m_id).unwrap().published() > 40);
+    }
+
+    #[test]
+    fn crashed_monitor_stays_silent() {
+        let mut r = rig();
+        let m = MonitorActor::new(
+            pulse_oximeter("T-2"),
+            r.body.clone(),
+            r.nc_id,
+            r.dev_ep,
+            FaultPlan::none().with_fault(mcps_device::faults::FaultKind::Crash, SimTime::ZERO, None),
+        );
+        let m_id = r.sim.add_actor("oximeter", m);
+        r.sim.actor_as_mut::<NetworkController>(r.nc_id).unwrap().bind(r.dev_ep, m_id);
+        r.sim.schedule(SimTime::ZERO, m_id, IceMsg::Tick);
+        r.sim.run_until(SimTime::from_secs(20));
+        let sink = r.sim.actor_as::<Sink>(r.sink_id).unwrap();
+        assert_eq!(sink.data, 0);
+        assert_eq!(sink.announces, 0, "a crashed device does not even announce");
+    }
+
+    #[test]
+    fn pump_actor_applies_commands_and_acks() {
+        let mut r = rig();
+        let pump = PcaPump::new(PcaPumpConfig::default());
+        let p_id = r.sim.add_actor("pump", PumpActor::new(pump, r.body.clone(), r.nc_id, r.dev_ep));
+        r.sim.actor_as_mut::<NetworkController>(r.nc_id).unwrap().bind(r.dev_ep, p_id);
+        r.sim.schedule(SimTime::ZERO, p_id, IceMsg::Tick);
+        // Deliver a stop command "from" the supervisor endpoint.
+        r.sim.schedule(
+            SimTime::from_secs(5),
+            p_id,
+            IceMsg::Net(NetOp::Deliver {
+                from: r.sup_ep,
+                payload: NetPayload::Command(IceCommand::StopPump),
+            }),
+        );
+        r.sim.run_until(SimTime::from_secs(10));
+        let pa = r.sim.actor_as::<PumpActor>(p_id).unwrap();
+        assert_eq!(pa.pump().state(), PumpState::Stopped(mcps_device::pump::StopReason::Command));
+        let sink = r.sim.actor_as::<Sink>(r.sink_id).unwrap();
+        assert_eq!(sink.acks, 1, "stop must be acknowledged");
+        // Permission transition was logged.
+        assert!(pa.first_stop_at_or_after(SimTime::ZERO).is_some());
+    }
+
+    #[test]
+    fn pump_actor_counts_button_decisions_and_infuses_body() {
+        let mut r = rig();
+        let pump = PcaPump::new(PcaPumpConfig::default());
+        let p_id = r.sim.add_actor("pump", PumpActor::new(pump, r.body.clone(), r.nc_id, r.dev_ep));
+        r.sim.schedule(SimTime::ZERO, p_id, IceMsg::Tick);
+        r.sim.schedule(SimTime::from_secs(2), p_id, IceMsg::PressButton);
+        r.sim.schedule(SimTime::from_secs(3), p_id, IceMsg::PressButton); // inside lockout
+        r.sim.run_until(SimTime::from_mins(2));
+        let pa = r.sim.actor_as::<PumpActor>(p_id).unwrap();
+        assert_eq!(pa.decisions().get("started"), Some(&1));
+        assert_eq!(pa.decisions().get("locked-out"), Some(&1));
+        // The 1 mg bolus ended up in the patient's body.
+        assert!((r.body.total_drug_mg() - 1.0).abs() < 1e-9, "{}", r.body.total_drug_mg());
+    }
+
+    #[test]
+    fn ventilator_actor_handles_pause_cycle() {
+        let mut r = rig();
+        let v = Ventilator::new(SimTime::ZERO, VentilatorConfig::default());
+        let v_id = r.sim.add_actor("vent", VentilatorActor::new(v, r.nc_id, r.dev_ep));
+        r.sim.actor_as_mut::<NetworkController>(r.nc_id).unwrap().bind(r.dev_ep, v_id);
+        r.sim.schedule(SimTime::ZERO, v_id, IceMsg::Tick);
+        r.sim.schedule(
+            SimTime::from_secs(5),
+            v_id,
+            IceMsg::Net(NetOp::Deliver {
+                from: r.sup_ep,
+                payload: NetPayload::Command(IceCommand::PauseVentilation {
+                    duration: SimDuration::from_secs(8),
+                }),
+            }),
+        );
+        r.sim.schedule(
+            SimTime::from_secs(9),
+            v_id,
+            IceMsg::Net(NetOp::Deliver {
+                from: r.sup_ep,
+                payload: NetPayload::Command(IceCommand::ResumeVentilation),
+            }),
+        );
+        r.sim.run_until(SimTime::from_secs(20));
+        let va = r.sim.actor_as::<VentilatorActor>(v_id).unwrap();
+        assert_eq!(va.ventilator().pause_log(), &[(SimTime::from_secs(5), SimTime::from_secs(9))]);
+        assert_eq!(r.sim.actor_as::<Sink>(r.sink_id).unwrap().acks, 2);
+    }
+
+    #[test]
+    fn xray_actor_arms_and_exposes() {
+        let mut r = rig();
+        let x = XRayMachine::new(XRayConfig::default());
+        let x_id = r.sim.add_actor("xray", XRayActor::new(x, r.nc_id, r.dev_ep));
+        r.sim.actor_as_mut::<NetworkController>(r.nc_id).unwrap().bind(r.dev_ep, x_id);
+        r.sim.schedule(SimTime::ZERO, x_id, IceMsg::Tick);
+        for (t, cmd) in [(2u64, IceCommand::ArmExposure), (3, IceCommand::Expose)] {
+            r.sim.schedule(
+                SimTime::from_secs(t),
+                x_id,
+                IceMsg::Net(NetOp::Deliver { from: r.sup_ep, payload: NetPayload::Command(cmd) }),
+            );
+        }
+        r.sim.run_until(SimTime::from_secs(10));
+        let xa = r.sim.actor_as::<XRayActor>(x_id).unwrap();
+        assert_eq!(xa.xray().exposures().len(), 1);
+        assert_eq!(r.sim.actor_as::<Sink>(r.sink_id).unwrap().acks, 2);
+    }
+}

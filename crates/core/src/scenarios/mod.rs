@@ -1,0 +1,12 @@
+//! Executable clinical scenarios — the experiment engines.
+//!
+//! * [`pca`] — the PCA closed-loop safety scenario (E1, E4, E8).
+//! * [`xray`] — x-ray/ventilator coordination (E3).
+//! * [`ward`] — the monitored ward alarm study (E2).
+//! * [`multibed`] — N complete closed loops on one shared fabric
+//!   (topic-scope isolation).
+
+pub mod multibed;
+pub mod pca;
+pub mod ward;
+pub mod xray;

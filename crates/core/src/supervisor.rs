@@ -1,0 +1,392 @@
+//! The ICE supervisor actor.
+//!
+//! Hosts one clinical app: runs device association, forwards published
+//! data into the app, dispatches the app's slot-addressed commands onto
+//! the network, and tracks command round-trip latency.
+
+use mcps_net::fabric::EndpointId;
+use mcps_net::monitor::DeadlineTracker;
+use mcps_sim::actor::{Actor, ActorId};
+use mcps_sim::kernel::Context;
+use mcps_sim::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+use crate::app::{AppCtx, ClinicalApp};
+use crate::manager::{AssociationOutcome, DeviceManager};
+use crate::msg::{IceCommand, IceMsg, NetAddress, NetOp, NetPayload};
+
+/// A monitoring device whose data has not arrived for this long is
+/// considered gone: its slot is vacated so a replacement can associate
+/// (bedside hot-swap).
+const DISASSOCIATION_TIMEOUT: SimDuration = SimDuration::from_secs(30);
+
+/// The supervisor actor.
+pub struct Supervisor {
+    app: Box<dyn ClinicalApp>,
+    manager: DeviceManager,
+    netctl: ActorId,
+    endpoint: EndpointId,
+    step: SimDuration,
+    /// Whether the app is currently fully associated (drives
+    /// `on_associated` edges and hot-swap bookkeeping).
+    assoc_active: bool,
+    /// Completed associations (1 initially; +1 per successful hot-swap).
+    associations_completed: u32,
+    /// Last data arrival per associated endpoint.
+    last_data: BTreeMap<EndpointId, SimTime>,
+    data_received: u64,
+    /// Data points dropped because the sender was not associated.
+    data_ignored: u64,
+    commands_sent: u64,
+    /// Outstanding command send times for RTT measurement (keyed by a
+    /// coarse command tag; good enough for scalar stats).
+    inflight: BTreeMap<&'static str, SimTime>,
+    rtt: DeadlineTracker,
+    associated_at: Option<SimTime>,
+}
+
+impl std::fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("data_received", &self.data_received)
+            .field("commands_sent", &self.commands_sent)
+            .field("associated_at", &self.associated_at)
+            .finish()
+    }
+}
+
+fn command_tag(c: &IceCommand) -> &'static str {
+    match c {
+        IceCommand::StopPump => "stop",
+        IceCommand::ResumePump => "resume",
+        IceCommand::GrantTicket { .. } => "ticket",
+        IceCommand::PauseVentilation { .. } => "pause-vent",
+        IceCommand::ResumeVentilation => "resume-vent",
+        IceCommand::ArmExposure => "arm",
+        IceCommand::Expose => "expose",
+    }
+}
+
+impl Supervisor {
+    /// Creates a supervisor hosting `app`, with a command-RTT deadline
+    /// used for the E4 statistics.
+    pub fn new(
+        app: impl ClinicalApp,
+        netctl: ActorId,
+        endpoint: EndpointId,
+        rtt_deadline: SimDuration,
+    ) -> Self {
+        let manager = DeviceManager::new(app.requirements());
+        Supervisor {
+            app: Box::new(app),
+            manager,
+            netctl,
+            endpoint,
+            step: SimDuration::from_secs(1),
+            assoc_active: false,
+            associations_completed: 0,
+            last_data: BTreeMap::new(),
+            data_received: 0,
+            data_ignored: 0,
+            commands_sent: 0,
+            inflight: BTreeMap::new(),
+            rtt: DeadlineTracker::new(rtt_deadline),
+            associated_at: None,
+        }
+    }
+
+    /// The device manager (association state).
+    pub fn manager(&self) -> &DeviceManager {
+        &self.manager
+    }
+
+    /// Data points received from associated devices.
+    pub fn data_received(&self) -> u64 {
+        self.data_received
+    }
+
+    /// Data points ignored because the sender was not associated.
+    pub fn data_ignored(&self) -> u64 {
+        self.data_ignored
+    }
+
+    /// Commands sent.
+    pub fn commands_sent(&self) -> u64 {
+        self.commands_sent
+    }
+
+    /// Command round-trip statistics.
+    pub fn rtt(&self) -> &DeadlineTracker {
+        &self.rtt
+    }
+
+    /// When association (first) completed, if it did.
+    pub fn associated_at(&self) -> Option<SimTime> {
+        self.associated_at
+    }
+
+    /// Completed associations (> 1 means at least one hot-swap).
+    pub fn associations_completed(&self) -> u32 {
+        self.associations_completed
+    }
+
+    /// Typed access to the hosted app's concrete state.
+    pub fn app_as<T: 'static>(&self) -> Option<&T> {
+        self.app.as_any().downcast_ref::<T>()
+    }
+
+    /// Vacates slots of monitoring devices that have gone silent, so a
+    /// replacement device's periodic announce can claim them.
+    fn check_device_liveness(&mut self, ctx: &mut Context<'_, IceMsg>) {
+        let now = ctx.now();
+        let mut vacate: Vec<EndpointId> = Vec::new();
+        for slot in self.manager.slot_names() {
+            let Some(ep) = self.manager.endpoint_for(&slot) else { continue };
+            // Only devices that promise data streams are liveness-checked;
+            // command-only devices (pumps) are supervised by their acks.
+            let publishes = self
+                .manager
+                .profile_for(&slot)
+                .is_some_and(|p| !p.streams.is_empty());
+            if !publishes {
+                continue;
+            }
+            let silent = self
+                .last_data
+                .get(&ep)
+                .is_none_or(|&t| now.saturating_since(t) > DISASSOCIATION_TIMEOUT);
+            if silent {
+                vacate.push(ep);
+            }
+        }
+        for ep in vacate {
+            if let Some(slot) = self.manager.disassociate(ep) {
+                self.assoc_active = false;
+                self.last_data.remove(&ep);
+                ctx.trace("assoc", format!("device {ep} silent; slot {slot} vacated"));
+            }
+        }
+    }
+
+    fn drive_app(
+        &mut self,
+        ctx: &mut Context<'_, IceMsg>,
+        f: impl FnOnce(&mut dyn ClinicalApp, &mut AppCtx<'_>),
+    ) {
+        let (outbox, notes) = {
+            let now = ctx.now();
+            let mut app_ctx = AppCtx::new(now, &self.manager, ctx.rng());
+            f(self.app.as_mut(), &mut app_ctx);
+            app_ctx.into_parts()
+        };
+        for note in notes {
+            ctx.trace("app", note);
+        }
+        for (slot, command) in outbox {
+            match self.manager.endpoint_for(&slot) {
+                Some(ep) => {
+                    self.commands_sent += 1;
+                    self.inflight.entry(command_tag(&command)).or_insert(ctx.now());
+                    ctx.send(
+                        self.netctl,
+                        IceMsg::Net(NetOp::Send {
+                            from: self.endpoint,
+                            to: NetAddress::Endpoint(ep),
+                            payload: NetPayload::Command(command),
+                        }),
+                    );
+                }
+                None => ctx.trace("app", format!("command to unassociated slot {slot} dropped")),
+            }
+        }
+    }
+}
+
+impl Actor<IceMsg> for Supervisor {
+    fn handle(&mut self, msg: IceMsg, ctx: &mut Context<'_, IceMsg>) {
+        match msg {
+            IceMsg::Tick => {
+                self.check_device_liveness(ctx);
+                self.drive_app(ctx, |app, actx| app.on_tick(actx));
+                ctx.schedule_self(self.step, IceMsg::Tick);
+            }
+            IceMsg::Net(NetOp::Deliver { from, payload }) => match payload {
+                NetPayload::Announce { profile, endpoint } => {
+                    let outcome = self.manager.on_announce(endpoint, &profile);
+                    if matches!(outcome, AssociationOutcome::Associated { .. }) {
+                        ctx.trace("assoc", format!("{profile}: {outcome:?}"));
+                        // Newly associated devices start their liveness
+                        // clock now.
+                        self.last_data.insert(endpoint, ctx.now());
+                    }
+                    if self.manager.fully_associated() && !self.assoc_active {
+                        self.assoc_active = true;
+                        self.associations_completed += 1;
+                        self.associated_at.get_or_insert(ctx.now());
+                        ctx.trace("assoc", "all slots associated; app active");
+                        self.drive_app(ctx, |app, actx| app.on_associated(actx));
+                    }
+                }
+                NetPayload::Data { kind, value, sampled_at } => {
+                    // Data is only accepted from *associated* devices:
+                    // an unvetted bedside device must not drive control
+                    // decisions, even if it publishes on the right topic.
+                    if self.manager.slot_of(from).is_none() {
+                        self.data_ignored += 1;
+                        return;
+                    }
+                    self.data_received += 1;
+                    self.last_data.insert(from, ctx.now());
+                    self.drive_app(ctx, |app, actx| app.on_data(actx, kind, value, sampled_at));
+                }
+                NetPayload::Ack { command, applied_at } => {
+                    if let Some(sent) = self.inflight.remove(command_tag(&command)) {
+                        self.rtt.record(ctx.now().saturating_since(sent));
+                    }
+                    self.drive_app(ctx, |app, actx| app.on_ack(actx, command, applied_at));
+                }
+                NetPayload::Command(_) => {
+                    // Supervisors do not accept commands.
+                    ctx.trace("app", format!("unexpected command from {from}"));
+                }
+            },
+            IceMsg::PressButton | IceMsg::Net(NetOp::Send { .. }) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppCtx;
+    use crate::netctl::NetworkController;
+    use mcps_device::profile::{DeviceClass, DeviceRequirementSet, Requirement};
+    use mcps_net::fabric::Fabric;
+    use mcps_net::qos::LinkQos;
+    use mcps_patient::vitals::VitalKind;
+    use mcps_sim::kernel::Simulation;
+    use mcps_sim::time::SimTime;
+
+    /// A minimal app that records its callbacks.
+    #[derive(Debug, Default)]
+    struct Probe {
+        associated_calls: u32,
+        data_points: Vec<(VitalKind, f64)>,
+        ticks: u32,
+    }
+
+    impl ClinicalApp for Probe {
+        fn requirements(&self) -> Vec<DeviceRequirementSet> {
+            vec![DeviceRequirementSet::new(
+                "monitor",
+                vec![Requirement::Class(DeviceClass::Monitor)],
+            )]
+        }
+        fn on_associated(&mut self, _ctx: &mut AppCtx<'_>) {
+            self.associated_calls += 1;
+        }
+        fn on_data(&mut self, _ctx: &mut AppCtx<'_>, kind: VitalKind, value: f64, _at: SimTime) {
+            self.data_points.push((kind, value));
+        }
+        fn on_tick(&mut self, _ctx: &mut AppCtx<'_>) {
+            self.ticks += 1;
+        }
+    }
+
+    fn deliver(sim: &mut Simulation<IceMsg>, sup: ActorId, from: EndpointId, payload: NetPayload) {
+        sim.schedule(sim.now(), sup, IceMsg::Net(NetOp::Deliver { from, payload }));
+        sim.run();
+    }
+
+    fn setup() -> (Simulation<IceMsg>, ActorId, EndpointId, EndpointId) {
+        let mut fabric = Fabric::new();
+        fabric.set_default_qos(LinkQos::ideal());
+        let dev = fabric.add_endpoint("dev");
+        let sup_ep = fabric.add_endpoint("sup");
+        let mut sim: Simulation<IceMsg> = Simulation::new(4);
+        let nc = sim.add_actor("netctl", NetworkController::new(fabric));
+        let sup = sim.add_actor(
+            "supervisor",
+            Supervisor::new(Probe::default(), nc, sup_ep, SimDuration::from_secs(2)),
+        );
+        (sim, sup, dev, sup_ep)
+    }
+
+    fn monitor_profile() -> mcps_device::profile::DeviceProfile {
+        mcps_device::monitor::pulse_oximeter("S-1").profile().clone()
+    }
+
+    #[test]
+    fn data_from_unassociated_devices_is_ignored() {
+        let (mut sim, sup, dev, _) = setup();
+        deliver(
+            &mut sim,
+            sup,
+            dev,
+            NetPayload::Data { kind: VitalKind::Spo2, value: 97.0, sampled_at: SimTime::ZERO },
+        );
+        let s = sim.actor_as::<Supervisor>(sup).unwrap();
+        assert_eq!(s.data_received(), 0);
+        assert_eq!(s.data_ignored(), 1);
+        assert!(s.app_as::<Probe>().unwrap().data_points.is_empty());
+    }
+
+    #[test]
+    fn association_gates_data_and_fires_callback() {
+        let (mut sim, sup, dev, _) = setup();
+        deliver(
+            &mut sim,
+            sup,
+            dev,
+            NetPayload::Announce { profile: monitor_profile(), endpoint: dev },
+        );
+        {
+            let s = sim.actor_as::<Supervisor>(sup).unwrap();
+            assert!(s.manager().fully_associated());
+            assert_eq!(s.app_as::<Probe>().unwrap().associated_calls, 1);
+            assert_eq!(s.associations_completed(), 1);
+        }
+        deliver(
+            &mut sim,
+            sup,
+            dev,
+            NetPayload::Data { kind: VitalKind::Spo2, value: 96.0, sampled_at: SimTime::ZERO },
+        );
+        let s = sim.actor_as::<Supervisor>(sup).unwrap();
+        assert_eq!(s.data_received(), 1);
+        assert_eq!(s.app_as::<Probe>().unwrap().data_points, vec![(VitalKind::Spo2, 96.0)]);
+    }
+
+    #[test]
+    fn duplicate_announce_does_not_refire_on_associated() {
+        let (mut sim, sup, dev, _) = setup();
+        for _ in 0..3 {
+            deliver(
+                &mut sim,
+                sup,
+                dev,
+                NetPayload::Announce { profile: monitor_profile(), endpoint: dev },
+            );
+        }
+        let s = sim.actor_as::<Supervisor>(sup).unwrap();
+        assert_eq!(s.app_as::<Probe>().unwrap().associated_calls, 1);
+        assert_eq!(s.associations_completed(), 1);
+    }
+
+    #[test]
+    fn silent_monitor_is_disassociated_on_tick() {
+        let (mut sim, sup, dev, _) = setup();
+        deliver(
+            &mut sim,
+            sup,
+            dev,
+            NetPayload::Announce { profile: monitor_profile(), endpoint: dev },
+        );
+        // Supervisor ticks for 40 s with no data: liveness vacates.
+        sim.schedule(sim.now(), sup, IceMsg::Tick);
+        sim.run_until(sim.now() + SimDuration::from_secs(40));
+        let s = sim.actor_as::<Supervisor>(sup).unwrap();
+        assert!(!s.manager().fully_associated(), "silent device must vacate its slot");
+        assert!(s.app_as::<Probe>().unwrap().ticks > 30);
+    }
+}

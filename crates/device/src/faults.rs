@@ -1,0 +1,135 @@
+//! Device fault injection plans.
+//!
+//! Assurance arguments (experiment E8) require demonstrating that the
+//! system fails safe under component faults. A [`FaultPlan`] scripts
+//! *when* a device misbehaves and *how*; the ICE actor wrappers consult
+//! it before forwarding traffic.
+
+use mcps_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// How a faulty device misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The device stops responding entirely (process crash, power loss).
+    Crash,
+    /// The device stays up but stops publishing data (hung sensor task);
+    /// it still honours commands.
+    SilentData,
+    /// The device keeps publishing the *last* value it measured
+    /// (stuck-at fault) — the most insidious failure for a monitor.
+    StuckValue,
+}
+
+/// A scripted fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScriptedFault {
+    /// When the fault manifests.
+    pub at: SimTime,
+    /// Recovery instant (`None` = permanent).
+    pub until: Option<SimTime>,
+    /// Failure mode.
+    pub kind: FaultKind,
+}
+
+/// The fault schedule of one device.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    faults: Vec<ScriptedFault>,
+}
+
+impl FaultPlan {
+    /// A device that never fails.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a scripted fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until` precedes `at`.
+    pub fn with_fault(mut self, kind: FaultKind, at: SimTime, until: Option<SimTime>) -> Self {
+        if let Some(u) = until {
+            assert!(u > at, "fault recovery must follow onset");
+        }
+        self.faults.push(ScriptedFault { at, until, kind });
+        self
+    }
+
+    /// The active fault at `now`, if any (first match wins).
+    pub fn active(&self, now: SimTime) -> Option<FaultKind> {
+        self.faults
+            .iter()
+            .find(|f| f.at <= now && f.until.is_none_or(|u| now < u))
+            .map(|f| f.kind)
+    }
+
+    /// Whether the device is crashed at `now`.
+    pub fn is_crashed(&self, now: SimTime) -> bool {
+        self.active(now) == Some(FaultKind::Crash)
+    }
+
+    /// Whether data publication is suppressed at `now` (crash or
+    /// silent-data).
+    pub fn is_data_suppressed(&self, now: SimTime) -> bool {
+        matches!(self.active(now), Some(FaultKind::Crash | FaultKind::SilentData))
+    }
+
+    /// Whether the device publishes stale stuck values at `now`.
+    pub fn is_stuck(&self, now: SimTime) -> bool {
+        self.active(now) == Some(FaultKind::StuckValue)
+    }
+
+    /// All scripted faults.
+    pub fn faults(&self) -> &[ScriptedFault] {
+        &self.faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn no_faults_means_healthy_forever() {
+        let p = FaultPlan::none();
+        assert_eq!(p.active(t(1_000_000)), None);
+        assert!(!p.is_crashed(t(0)));
+    }
+
+    #[test]
+    fn transient_fault_window() {
+        let p = FaultPlan::none().with_fault(FaultKind::SilentData, t(100), Some(t(200)));
+        assert!(!p.is_data_suppressed(t(99)));
+        assert!(p.is_data_suppressed(t(100)));
+        assert!(p.is_data_suppressed(t(199)));
+        assert!(!p.is_data_suppressed(t(200)));
+        assert!(!p.is_crashed(t(150)), "silent-data is not a crash");
+    }
+
+    #[test]
+    fn permanent_crash() {
+        let p = FaultPlan::none().with_fault(FaultKind::Crash, t(50), None);
+        assert!(p.is_crashed(t(50)));
+        assert!(p.is_crashed(t(1_000_000)));
+        assert!(p.is_data_suppressed(t(60)));
+    }
+
+    #[test]
+    fn stuck_value_detection() {
+        let p = FaultPlan::none().with_fault(FaultKind::StuckValue, t(10), Some(t(20)));
+        assert!(p.is_stuck(t(15)));
+        assert!(!p.is_data_suppressed(t(15)), "stuck devices still publish");
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery must follow onset")]
+    fn inverted_window_rejected() {
+        let _ = FaultPlan::none().with_fault(FaultKind::Crash, t(10), Some(t(10)));
+    }
+}

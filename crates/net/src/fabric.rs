@@ -1,0 +1,369 @@
+//! The network fabric: endpoints, links and topic routing.
+//!
+//! [`Fabric`] is a *pure* model — it decides, per message, who receives
+//! it and when, but does not itself own an event queue. The ICE network
+//! controller (in `mcps-core`) consults the fabric and schedules the
+//! resulting deliveries on the simulation kernel. This keeps the fabric
+//! independently testable and reusable under any executive.
+
+use crate::qos::{Delivery, LinkQos, OutagePlan};
+use mcps_sim::stats::Welford;
+use mcps_sim::time::SimTime;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Identifies an endpoint attached to a [`Fabric`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EndpointId(u32);
+
+impl EndpointId {
+    /// The raw index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ep#{}", self.0)
+    }
+}
+
+/// A publish/subscribe topic name.
+///
+/// Topics are flat strings by convention structured like
+/// `"vitals/spo2"` or `"pump/status"`; matching is exact.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Topic(String);
+
+impl Topic {
+    /// Creates a topic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty(), "topic name must not be empty");
+        Topic(name)
+    }
+
+    /// The topic name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Topic {
+    fn from(s: &str) -> Self {
+        Topic::new(s)
+    }
+}
+
+/// Per-directed-link transmission statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Messages offered to the link.
+    pub sent: u64,
+    /// Messages that will arrive.
+    pub delivered: u64,
+    /// Messages lost (random loss or outage).
+    pub dropped: u64,
+    /// One-way latency of delivered messages, seconds.
+    pub latency: Welford,
+}
+
+impl LinkStats {
+    /// Delivered / sent (1.0 when nothing was sent).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+}
+
+/// One planned delivery produced by [`Fabric::publish`] or
+/// [`Fabric::unicast`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedDelivery {
+    /// Receiving endpoint.
+    pub to: EndpointId,
+    /// Arrival instant.
+    pub at: SimTime,
+}
+
+/// Endpoints, directed links with QoS, outages, and topic subscriptions.
+#[derive(Debug, Clone, Default)]
+pub struct Fabric {
+    names: Vec<String>,
+    default_qos: LinkQos,
+    links: BTreeMap<(EndpointId, EndpointId), LinkQos>,
+    outages: BTreeMap<(EndpointId, EndpointId), OutagePlan>,
+    subs: BTreeMap<Topic, BTreeSet<EndpointId>>,
+    stats: BTreeMap<(EndpointId, EndpointId), LinkStats>,
+}
+
+impl Fabric {
+    /// An empty fabric whose unspecified links use [`LinkQos::wired`].
+    pub fn new() -> Self {
+        Fabric::default()
+    }
+
+    /// Sets the QoS used by links without an explicit override.
+    pub fn set_default_qos(&mut self, qos: LinkQos) {
+        self.default_qos = qos;
+    }
+
+    /// Registers an endpoint.
+    pub fn add_endpoint(&mut self, name: &str) -> EndpointId {
+        let id = EndpointId(u32::try_from(self.names.len()).expect("too many endpoints"));
+        self.names.push(name.to_owned());
+        id
+    }
+
+    /// The registered name of an endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this fabric.
+    pub fn endpoint_name(&self, id: EndpointId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Number of endpoints.
+    pub fn endpoint_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Overrides QoS on the directed link `from → to`.
+    pub fn set_link(&mut self, from: EndpointId, to: EndpointId, qos: LinkQos) {
+        self.links.insert((from, to), qos);
+    }
+
+    /// Overrides QoS symmetrically on both directions between `a` and `b`.
+    pub fn set_link_symmetric(&mut self, a: EndpointId, b: EndpointId, qos: LinkQos) {
+        self.set_link(a, b, qos);
+        self.set_link(b, a, qos);
+    }
+
+    /// Installs an outage plan on the directed link `from → to`.
+    pub fn set_outages(&mut self, from: EndpointId, to: EndpointId, plan: OutagePlan) {
+        self.outages.insert((from, to), plan);
+    }
+
+    /// The effective QoS of `from → to`.
+    pub fn link_qos(&self, from: EndpointId, to: EndpointId) -> LinkQos {
+        self.links.get(&(from, to)).copied().unwrap_or(self.default_qos)
+    }
+
+    /// Subscribes `endpoint` to `topic`.
+    pub fn subscribe(&mut self, endpoint: EndpointId, topic: Topic) {
+        self.subs.entry(topic).or_default().insert(endpoint);
+    }
+
+    /// Removes a subscription (no-op if absent).
+    pub fn unsubscribe(&mut self, endpoint: EndpointId, topic: &Topic) {
+        if let Some(set) = self.subs.get_mut(topic) {
+            set.remove(&endpoint);
+        }
+    }
+
+    /// Current subscribers of `topic` (empty if none).
+    pub fn subscribers(&self, topic: &Topic) -> Vec<EndpointId> {
+        self.subs.get(topic).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// Plans the transmission of one unicast message sent at `now`.
+    /// Returns `None` if the message is lost (loss or outage);
+    /// statistics are updated either way.
+    pub fn unicast(
+        &mut self,
+        from: EndpointId,
+        to: EndpointId,
+        now: SimTime,
+        rng: &mut impl RngCore,
+    ) -> Option<PlannedDelivery> {
+        let stats = self.stats.entry((from, to)).or_default();
+        stats.sent += 1;
+        let down = self.outages.get(&(from, to)).is_some_and(|p| p.is_down(now));
+        if down {
+            stats.dropped += 1;
+            return None;
+        }
+        let qos = self.links.get(&(from, to)).copied().unwrap_or(self.default_qos);
+        match qos.sample(now, rng) {
+            Delivery::Deliver { at } => {
+                let stats = self.stats.entry((from, to)).or_default();
+                stats.delivered += 1;
+                stats.latency.push((at - now).as_secs_f64());
+                Some(PlannedDelivery { to, at })
+            }
+            Delivery::Dropped => {
+                self.stats.entry((from, to)).or_default().dropped += 1;
+                None
+            }
+        }
+    }
+
+    /// Plans delivery of a published message to every subscriber of
+    /// `topic` except the publisher itself. Each subscriber's link is
+    /// sampled independently.
+    pub fn publish(
+        &mut self,
+        from: EndpointId,
+        topic: &Topic,
+        now: SimTime,
+        rng: &mut impl RngCore,
+    ) -> Vec<PlannedDelivery> {
+        let receivers: Vec<EndpointId> = self
+            .subs
+            .get(topic)
+            .map(|s| s.iter().copied().filter(|&e| e != from).collect())
+            .unwrap_or_default();
+        receivers.into_iter().filter_map(|to| self.unicast(from, to, now, rng)).collect()
+    }
+
+    /// Statistics of the directed link `from → to`.
+    pub fn link_stats(&self, from: EndpointId, to: EndpointId) -> LinkStats {
+        self.stats.get(&(from, to)).copied().unwrap_or_default()
+    }
+
+    /// Aggregate statistics over all links.
+    pub fn total_stats(&self) -> LinkStats {
+        let mut total = LinkStats::default();
+        for s in self.stats.values() {
+            total.sent += s.sent;
+            total.delivered += s.delivered;
+            total.dropped += s.dropped;
+            total.latency.merge(&s.latency);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcps_sim::rng::RngFactory;
+    use mcps_sim::time::SimDuration;
+
+    fn rng() -> mcps_sim::rng::SimRng {
+        RngFactory::new(8).stream("fabric")
+    }
+
+    fn two_endpoint_fabric() -> (Fabric, EndpointId, EndpointId) {
+        let mut f = Fabric::new();
+        let a = f.add_endpoint("oximeter");
+        let b = f.add_endpoint("supervisor");
+        (f, a, b)
+    }
+
+    #[test]
+    fn unicast_uses_link_qos() {
+        let (mut f, a, b) = two_endpoint_fabric();
+        f.set_link(a, b, LinkQos::ideal().with_latency(SimDuration::from_millis(7)));
+        let mut r = rng();
+        let d = f.unicast(a, b, SimTime::from_secs(1), &mut r).unwrap();
+        assert_eq!(d.to, b);
+        assert_eq!(d.at, SimTime::from_secs(1) + SimDuration::from_millis(7));
+        assert_eq!(f.link_stats(a, b).sent, 1);
+        assert_eq!(f.link_stats(a, b).delivered, 1);
+    }
+
+    #[test]
+    fn publish_reaches_all_subscribers_except_sender() {
+        let mut f = Fabric::new();
+        f.set_default_qos(LinkQos::ideal());
+        let pubr = f.add_endpoint("pub");
+        let s1 = f.add_endpoint("s1");
+        let s2 = f.add_endpoint("s2");
+        let t = Topic::new("vitals/spo2");
+        f.subscribe(s1, t.clone());
+        f.subscribe(s2, t.clone());
+        f.subscribe(pubr, t.clone()); // publisher also subscribed: must not self-deliver
+        let mut r = rng();
+        let out = f.publish(pubr, &t, SimTime::ZERO, &mut r);
+        let mut tos: Vec<_> = out.iter().map(|d| d.to).collect();
+        tos.sort();
+        assert_eq!(tos, vec![s1, s2]);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mut f = Fabric::new();
+        f.set_default_qos(LinkQos::ideal());
+        let p = f.add_endpoint("p");
+        let s = f.add_endpoint("s");
+        let t = Topic::new("x");
+        f.subscribe(s, t.clone());
+        f.unsubscribe(s, &t);
+        let mut r = rng();
+        assert!(f.publish(p, &t, SimTime::ZERO, &mut r).is_empty());
+        assert!(f.subscribers(&t).is_empty());
+    }
+
+    #[test]
+    fn outage_drops_everything_in_window() {
+        let (mut f, a, b) = two_endpoint_fabric();
+        f.set_link(a, b, LinkQos::ideal());
+        f.set_outages(a, b, OutagePlan::none().with_outage(SimTime::from_secs(10), SimTime::from_secs(20)));
+        let mut r = rng();
+        assert!(f.unicast(a, b, SimTime::from_secs(5), &mut r).is_some());
+        assert!(f.unicast(a, b, SimTime::from_secs(15), &mut r).is_none());
+        assert!(f.unicast(a, b, SimTime::from_secs(25), &mut r).is_some());
+        let s = f.link_stats(a, b);
+        assert_eq!((s.sent, s.delivered, s.dropped), (3, 2, 1));
+    }
+
+    #[test]
+    fn lossy_link_stats_accumulate() {
+        let (mut f, a, b) = two_endpoint_fabric();
+        f.set_link(a, b, LinkQos::ideal().with_loss(0.5));
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let _ = f.unicast(a, b, SimTime::ZERO, &mut r);
+        }
+        let s = f.link_stats(a, b);
+        assert_eq!(s.sent, 1_000);
+        assert!(s.delivery_ratio() > 0.4 && s.delivery_ratio() < 0.6, "{}", s.delivery_ratio());
+        assert_eq!(s.delivered + s.dropped, s.sent);
+    }
+
+    #[test]
+    fn total_stats_merge_links() {
+        let mut f = Fabric::new();
+        f.set_default_qos(LinkQos::ideal());
+        let a = f.add_endpoint("a");
+        let b = f.add_endpoint("b");
+        let c = f.add_endpoint("c");
+        let mut r = rng();
+        f.unicast(a, b, SimTime::ZERO, &mut r);
+        f.unicast(a, c, SimTime::ZERO, &mut r);
+        assert_eq!(f.total_stats().sent, 2);
+    }
+
+    #[test]
+    fn endpoint_names_roundtrip() {
+        let (f, a, b) = two_endpoint_fabric();
+        assert_eq!(f.endpoint_name(a), "oximeter");
+        assert_eq!(f.endpoint_name(b), "supervisor");
+        assert_eq!(f.endpoint_count(), 2);
+        assert_eq!(a.to_string(), "ep#0");
+    }
+
+    #[test]
+    #[should_panic(expected = "topic name")]
+    fn empty_topic_rejected() {
+        let _ = Topic::new("");
+    }
+}

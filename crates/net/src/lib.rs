@@ -1,0 +1,45 @@
+//! # mcps-net — simulated clinical network fabric
+//!
+//! The unreliable medium between MCPS components. Provides
+//!
+//! * [`qos`] — parametric link models (latency, jitter, loss) and
+//!   scheduled outages,
+//! * [`fabric`] — endpoints, directed links and publish/subscribe
+//!   topic routing with per-link statistics,
+//! * [`monitor`] — stream-freshness and command-deadline tracking, the
+//!   raw material of fail-safe logic.
+//!
+//! The fabric is a pure planning model: it decides who receives a
+//! message and when, and the caller (the ICE network controller in
+//! `mcps-core`) schedules those deliveries on the simulation kernel.
+//!
+//! ## Example
+//!
+//! ```
+//! use mcps_net::fabric::{Fabric, Topic};
+//! use mcps_net::qos::LinkQos;
+//! use mcps_sim::rng::RngFactory;
+//! use mcps_sim::time::SimTime;
+//!
+//! let mut fabric = Fabric::new();
+//! fabric.set_default_qos(LinkQos::wifi());
+//! let oximeter = fabric.add_endpoint("oximeter");
+//! let supervisor = fabric.add_endpoint("supervisor");
+//! let topic = Topic::new("vitals/spo2");
+//! fabric.subscribe(supervisor, topic.clone());
+//!
+//! let mut rng = RngFactory::new(1).stream("net");
+//! let deliveries = fabric.publish(oximeter, &topic, SimTime::ZERO, &mut rng);
+//! assert!(deliveries.len() <= 1); // wifi may drop it
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fabric;
+pub mod monitor;
+pub mod qos;
+
+pub use fabric::{EndpointId, Fabric, LinkStats, PlannedDelivery, Topic};
+pub use monitor::{DeadlineTracker, FreshnessMonitor};
+pub use qos::{Delivery, LinkQos, OutagePlan};

@@ -1,0 +1,375 @@
+//! Pharmacodynamics and cardio-respiratory physiology.
+//!
+//! Maps the opioid effect-site concentration produced by
+//! [`PkModel`](crate::pk::PkModel) to the vital signs an MCPS can
+//! observe, via a compact mechanistic chain:
+//!
+//! ```text
+//! Ce ──Hill──► ventilatory depression ──► minute ventilation
+//!     ──Hill──► analgesia ──► perceived pain
+//! MV ──alveolar gas exchange (1st-order)──► PaCO₂ ──► PaO₂ ──ODC──► SpO₂
+//! pain, depression, hypoxia ──► heart rate, blood pressure
+//! ```
+//!
+//! The oxyhaemoglobin dissociation curve uses the Severinghaus
+//! approximation; the CO₂/O₂ stores respond with first-order time
+//! constants so hypoxaemia develops over minutes after an overdose —
+//! the latency window a PCA safety interlock must beat.
+
+use crate::vitals::VitalsFrame;
+use serde::{Deserialize, Serialize};
+
+/// Pharmacodynamic and physiological parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhysioParams {
+    /// Baseline respiratory rate, breaths/min.
+    pub rr0: f64,
+    /// Baseline heart rate, bpm.
+    pub hr0: f64,
+    /// Baseline minute ventilation, L/min.
+    pub mv0: f64,
+    /// Baseline systolic blood pressure, mmHg.
+    pub bp_sys0: f64,
+    /// Baseline diastolic blood pressure, mmHg.
+    pub bp_dia0: f64,
+    /// Baseline arterial CO₂ tension, mmHg.
+    pub paco2_0: f64,
+    /// Effect-site concentration producing half-maximal ventilatory
+    /// depression, mg/L. Lower ⇒ more opioid-sensitive patient.
+    pub ec50_depression: f64,
+    /// Hill exponent of ventilatory depression.
+    pub gamma_depression: f64,
+    /// Maximal fractional depression of minute ventilation (0–1).
+    pub emax_depression: f64,
+    /// Effect-site concentration above which breathing effectively
+    /// ceases (apnoea), mg/L.
+    pub apnea_ce: f64,
+    /// Effect-site concentration producing half-maximal analgesia, mg/L.
+    pub ec50_analgesia: f64,
+    /// Hill exponent of analgesia.
+    pub gamma_analgesia: f64,
+    /// Time constant of the body's CO₂ store, minutes.
+    pub tau_co2_min: f64,
+    /// Time constant of the lung/blood O₂ store, minutes.
+    pub tau_o2_min: f64,
+    /// Alveolar–arterial oxygen gradient, mmHg.
+    pub aa_gradient: f64,
+    /// Inspired oxygen fraction (0.21 = room air).
+    pub fio2: f64,
+}
+
+impl Default for PhysioParams {
+    fn default() -> Self {
+        PhysioParams {
+            rr0: 14.0,
+            hr0: 72.0,
+            mv0: 6.0,
+            bp_sys0: 120.0,
+            bp_dia0: 78.0,
+            paco2_0: 40.0,
+            ec50_depression: 0.15,
+            gamma_depression: 4.0,
+            emax_depression: 0.95,
+            apnea_ce: 0.35,
+            ec50_analgesia: 0.05,
+            gamma_analgesia: 2.0,
+            tau_co2_min: 3.0,
+            tau_o2_min: 0.8,
+            aa_gradient: 10.0,
+            fio2: 0.21,
+        }
+    }
+}
+
+impl PhysioParams {
+    /// Validates parameter sanity (positive rates, fractions in range).
+    pub fn validate(&self) -> Result<(), String> {
+        let positives = [
+            ("rr0", self.rr0),
+            ("hr0", self.hr0),
+            ("mv0", self.mv0),
+            ("bp_sys0", self.bp_sys0),
+            ("bp_dia0", self.bp_dia0),
+            ("paco2_0", self.paco2_0),
+            ("ec50_depression", self.ec50_depression),
+            ("gamma_depression", self.gamma_depression),
+            ("apnea_ce", self.apnea_ce),
+            ("ec50_analgesia", self.ec50_analgesia),
+            ("gamma_analgesia", self.gamma_analgesia),
+            ("tau_co2_min", self.tau_co2_min),
+            ("tau_o2_min", self.tau_o2_min),
+        ];
+        for (name, v) in positives {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("physiology parameter {name} must be positive, got {v}"));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.emax_depression) {
+            return Err(format!("emax_depression must be in [0,1], got {}", self.emax_depression));
+        }
+        if !(0.15..=1.0).contains(&self.fio2) {
+            return Err(format!("fio2 must be in [0.15,1], got {}", self.fio2));
+        }
+        Ok(())
+    }
+}
+
+/// The slow physiological state (gas stores).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhysioState {
+    /// Arterial CO₂ tension, mmHg.
+    pub paco2: f64,
+    /// Arterial O₂ tension, mmHg.
+    pub pao2: f64,
+}
+
+/// Severinghaus approximation of the oxyhaemoglobin dissociation curve:
+/// arterial O₂ tension (mmHg) → SaO₂ (%).
+pub fn severinghaus_spo2(pao2: f64) -> f64 {
+    let p = pao2.max(1.0);
+    100.0 / (1.0 + 23_400.0 / (p * p * p + 150.0 * p))
+}
+
+/// The cardio-respiratory model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhysioModel {
+    params: PhysioParams,
+    state: PhysioState,
+}
+
+impl PhysioModel {
+    /// Creates a model at its drug-free equilibrium.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`PhysioParams::validate`].
+    pub fn new(params: PhysioParams) -> Self {
+        if let Err(e) = params.validate() {
+            panic!("invalid physiology parameters: {e}");
+        }
+        let pao2_eq = Self::pao2_target(&params, params.paco2_0);
+        PhysioModel { params, state: PhysioState { paco2: params.paco2_0, pao2: pao2_eq } }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &PhysioParams {
+        &self.params
+    }
+
+    /// The gas-store state.
+    pub fn state(&self) -> PhysioState {
+        self.state
+    }
+
+    /// Fractional ventilatory depression at effect-site concentration
+    /// `ce` (0 = none, 1 = apnoea).
+    pub fn depression(&self, ce: f64) -> f64 {
+        let p = &self.params;
+        if ce >= p.apnea_ce {
+            return 1.0;
+        }
+        let ratio = (ce.max(0.0) / p.ec50_depression).powf(p.gamma_depression);
+        p.emax_depression * ratio / (1.0 + ratio)
+    }
+
+    /// Fractional analgesia at `ce` (0 = none, 1 = complete).
+    pub fn analgesia(&self, ce: f64) -> f64 {
+        let p = &self.params;
+        let ratio = (ce.max(0.0) / p.ec50_analgesia).powf(p.gamma_analgesia);
+        ratio / (1.0 + ratio)
+    }
+
+    /// Minute ventilation (L/min) at `ce`.
+    pub fn minute_ventilation(&self, ce: f64) -> f64 {
+        (self.params.mv0 * (1.0 - self.depression(ce))).max(0.05)
+    }
+
+    fn paco2_target_for_mv(params: &PhysioParams, mv: f64) -> f64 {
+        (params.paco2_0 * params.mv0 / mv.max(0.3)).min(95.0)
+    }
+
+    fn pao2_target(params: &PhysioParams, paco2: f64) -> f64 {
+        let pio2 = params.fio2 * (760.0 - 47.0);
+        (pio2 - paco2 / 0.8 - params.aa_gradient).max(5.0)
+    }
+
+    /// Advances the gas stores by `dt_secs` seconds at effect-site
+    /// concentration `ce`.
+    pub fn step(&mut self, ce: f64, dt_secs: f64) {
+        debug_assert!(dt_secs > 0.0 && dt_secs.is_finite());
+        let dt_min = dt_secs / 60.0;
+        let p = self.params;
+        let mv = self.minute_ventilation(ce);
+        let paco2_t = Self::paco2_target_for_mv(&p, mv);
+        let pao2_t = Self::pao2_target(&p, self.state.paco2);
+        // Exponential relaxation toward the quasi-steady targets.
+        let relax = |x: f64, target: f64, tau: f64| {
+            target + (x - target) * (-dt_min / tau).exp()
+        };
+        self.state.paco2 = relax(self.state.paco2, paco2_t, p.tau_co2_min);
+        self.state.pao2 = relax(self.state.pao2, pao2_t, p.tau_o2_min);
+    }
+
+    /// The complete true vitals frame at effect-site concentration `ce`
+    /// and perceived pain drive `pain` (0–10 scale before analgesia).
+    pub fn vitals(&self, ce: f64, pain: f64) -> VitalsFrame {
+        let p = &self.params;
+        let e = self.depression(ce);
+        let spo2 = severinghaus_spo2(self.state.pao2);
+        let perceived_pain = self.perceived_pain(ce, pain);
+        // Tachycardia from pain and compensatory response to hypoxia;
+        // bradycardic drift from the opioid itself.
+        let hypoxia_drive = (90.0 - spo2).max(0.0) * 1.2;
+        let hr = (p.hr0 + 2.2 * perceived_pain + hypoxia_drive - 0.18 * p.hr0 * e).max(25.0);
+        let bp_sys = (p.bp_sys0 + 1.8 * perceived_pain - 18.0 * e).max(50.0);
+        let bp_dia = (p.bp_dia0 + 1.0 * perceived_pain - 12.0 * e).max(30.0);
+        let rr = if e >= 1.0 { 0.0 } else { (p.rr0 * (1.0 - 0.75 * e)).max(2.0) };
+        let mv = self.minute_ventilation(ce);
+        // End-tidal CO₂ tracks arterial minus a small gradient while the
+        // patient breathes; in apnoea there is no expired gas to measure.
+        let etco2 = if e >= 1.0 { 0.0 } else { (self.state.paco2 - 3.0).max(0.0) };
+        VitalsFrame {
+            spo2,
+            heart_rate: hr,
+            resp_rate: rr,
+            etco2,
+            bp_systolic: bp_sys,
+            bp_diastolic: bp_dia,
+            minute_ventilation: mv,
+        }
+    }
+
+    /// Pain after analgesia, on the 0–10 numeric rating scale.
+    pub fn perceived_pain(&self, ce: f64, pain_drive: f64) -> f64 {
+        (pain_drive * (1.0 - self.analgesia(ce))).clamp(0.0, 10.0)
+    }
+}
+
+impl Default for PhysioModel {
+    fn default() -> Self {
+        PhysioModel::new(PhysioParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settle(m: &mut PhysioModel, ce: f64, secs: u64) {
+        for _ in 0..secs {
+            m.step(ce, 1.0);
+        }
+    }
+
+    #[test]
+    fn baseline_is_healthy() {
+        let m = PhysioModel::default();
+        let v = m.vitals(0.0, 0.0);
+        assert!(v.spo2 > 95.0, "baseline SpO2 {}", v.spo2);
+        assert!((v.resp_rate - 14.0).abs() < 0.5);
+        assert!((v.etco2 - 37.0).abs() < 2.0);
+        assert!((v.heart_rate - 72.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn severinghaus_curve_shape() {
+        assert!(severinghaus_spo2(100.0) > 97.0);
+        assert!(severinghaus_spo2(60.0) > 88.0 && severinghaus_spo2(60.0) < 93.0);
+        assert!(severinghaus_spo2(40.0) < 80.0);
+        assert!(severinghaus_spo2(27.0) < 55.0);
+        // Monotone.
+        let mut prev = 0.0;
+        for p in 1..150 {
+            let s = severinghaus_spo2(p as f64);
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn therapeutic_ce_barely_depresses() {
+        let mut m = PhysioModel::default();
+        settle(&mut m, 0.06, 30 * 60);
+        let v = m.vitals(0.06, 5.0);
+        assert!(v.spo2 > 93.0, "therapeutic SpO2 {}", v.spo2);
+        assert!(v.resp_rate > 10.0);
+        // But it does provide meaningful analgesia.
+        assert!(m.analgesia(0.06) > 0.5);
+    }
+
+    #[test]
+    fn overdose_causes_progressive_desaturation() {
+        let mut m = PhysioModel::default();
+        let ce = 0.25; // well above EC50, below apnoea
+        let spo2_1min = {
+            settle(&mut m, ce, 60);
+            m.vitals(ce, 0.0).spo2
+        };
+        let spo2_10min = {
+            settle(&mut m, ce, 9 * 60);
+            m.vitals(ce, 0.0).spo2
+        };
+        assert!(spo2_1min > spo2_10min, "desaturation should deepen: {spo2_1min} vs {spo2_10min}");
+        assert!(spo2_10min < 88.0, "overdose should cause hypoxaemia, got {spo2_10min}");
+        // The delay is what the interlock exploits: at 1 min the patient
+        // is not yet critically desaturated.
+        assert!(spo2_1min > 90.0, "desaturation must take minutes, got {spo2_1min} at 1min");
+    }
+
+    #[test]
+    fn apnea_stops_breathing() {
+        let mut m = PhysioModel::default();
+        let ce = 0.4;
+        assert_eq!(m.depression(ce), 1.0);
+        settle(&mut m, ce, 5 * 60);
+        let v = m.vitals(ce, 0.0);
+        assert_eq!(v.resp_rate, 0.0);
+        assert_eq!(v.etco2, 0.0);
+        assert!(v.spo2 < 75.0);
+    }
+
+    #[test]
+    fn recovery_after_drug_clears() {
+        let mut m = PhysioModel::default();
+        settle(&mut m, 0.3, 10 * 60);
+        assert!(m.vitals(0.3, 0.0).spo2 < 90.0);
+        settle(&mut m, 0.0, 15 * 60);
+        assert!(m.vitals(0.0, 0.0).spo2 > 95.0, "patient should reoxygenate");
+    }
+
+    #[test]
+    fn pain_raises_hr_and_analgesia_lowers_it() {
+        let m = PhysioModel::default();
+        let hurting = m.vitals(0.0, 8.0);
+        let comfortable = m.vitals(0.08, 8.0);
+        assert!(hurting.heart_rate > comfortable.heart_rate);
+        assert!(m.perceived_pain(0.0, 8.0) > m.perceived_pain(0.08, 8.0));
+    }
+
+    #[test]
+    fn hypoxia_triggers_compensatory_tachycardia() {
+        let mut m = PhysioModel::default();
+        settle(&mut m, 0.3, 10 * 60);
+        let v = m.vitals(0.3, 0.0);
+        assert!(v.spo2 < 88.0);
+        assert!(v.heart_rate > m.params().hr0, "hypoxic HR {} should exceed baseline", v.heart_rate);
+    }
+
+    #[test]
+    fn depression_is_monotone_in_ce() {
+        let m = PhysioModel::default();
+        let mut prev = -1.0;
+        for i in 0..50 {
+            let d = m.depression(i as f64 * 0.01);
+            assert!(d >= prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid physiology parameters")]
+    fn invalid_params_panic() {
+        let p = PhysioParams { mv0: -1.0, ..PhysioParams::default() };
+        let _ = PhysioModel::new(p);
+    }
+}

@@ -1,0 +1,323 @@
+//! Two-compartment pharmacokinetic model with an effect-site compartment.
+//!
+//! Drug amounts live in a central (plasma) and a peripheral (tissue)
+//! compartment; the clinical effect is driven by the *effect-site*
+//! concentration, which lags plasma concentration with first-order
+//! kinetics. This is the standard structure used for opioids in the
+//! closed-loop PCA literature; parameters here are plausible for a
+//! morphine-like agent and scale with patient weight.
+//!
+//! ```
+//! use mcps_patient::pk::{PkModel, PkParams};
+//!
+//! let mut pk = PkModel::new(PkParams::for_weight_kg(70.0));
+//! pk.give_bolus(2.0); // mg
+//! for _ in 0..600 {
+//!     pk.step(1.0); // one second per step
+//! }
+//! assert!(pk.effect_site_conc() > 0.0);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Rate constants and volumes of the PK model. Rates are per **minute**;
+/// volumes in litres; concentrations in mg/L; infusion input in mg/min.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PkParams {
+    /// Elimination rate from the central compartment (1/min).
+    pub k10: f64,
+    /// Central → peripheral distribution rate (1/min).
+    pub k12: f64,
+    /// Peripheral → central redistribution rate (1/min).
+    pub k21: f64,
+    /// Plasma ↔ effect-site equilibration rate (1/min).
+    pub ke0: f64,
+    /// Central volume of distribution (L).
+    pub v1: f64,
+}
+
+impl PkParams {
+    /// Nominal parameters for a patient of the given weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_kg` is not positive and finite.
+    pub fn for_weight_kg(weight_kg: f64) -> Self {
+        assert!(weight_kg.is_finite() && weight_kg > 0.0, "weight must be positive");
+        PkParams {
+            k10: 0.07,
+            k12: 0.11,
+            k21: 0.05,
+            ke0: 0.12,
+            v1: 0.18 * weight_kg,
+        }
+    }
+
+    /// Validates that every parameter is positive and finite.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("k10", self.k10),
+            ("k12", self.k12),
+            ("k21", self.k21),
+            ("ke0", self.ke0),
+            ("v1", self.v1),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("PK parameter {name} must be positive, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for PkParams {
+    fn default() -> Self {
+        PkParams::for_weight_kg(70.0)
+    }
+}
+
+/// Integrable PK state: drug amounts and effect-site concentration.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PkState {
+    /// Drug amount in the central compartment (mg).
+    pub a_central: f64,
+    /// Drug amount in the peripheral compartment (mg).
+    pub a_peripheral: f64,
+    /// Effect-site concentration (mg/L).
+    pub ce: f64,
+}
+
+/// The PK model: parameters + state + infusion input.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PkModel {
+    params: PkParams,
+    state: PkState,
+    /// Continuous infusion rate, mg/min.
+    infusion_mg_per_min: f64,
+    /// Cumulative drug ever administered, mg.
+    total_administered_mg: f64,
+}
+
+impl PkModel {
+    /// Creates a drug-free model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`PkParams::validate`].
+    pub fn new(params: PkParams) -> Self {
+        if let Err(e) = params.validate() {
+            panic!("invalid PK parameters: {e}");
+        }
+        PkModel {
+            params,
+            state: PkState::default(),
+            infusion_mg_per_min: 0.0,
+            total_administered_mg: 0.0,
+        }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &PkParams {
+        &self.params
+    }
+
+    /// Current integrable state.
+    pub fn state(&self) -> PkState {
+        self.state
+    }
+
+    /// Plasma concentration, mg/L.
+    pub fn plasma_conc(&self) -> f64 {
+        self.state.a_central / self.params.v1
+    }
+
+    /// Effect-site concentration, mg/L — the quantity that drives
+    /// pharmacodynamics.
+    pub fn effect_site_conc(&self) -> f64 {
+        self.state.ce
+    }
+
+    /// Total drug administered so far, mg.
+    pub fn total_administered_mg(&self) -> f64 {
+        self.total_administered_mg
+    }
+
+    /// Current continuous infusion rate, mg/min.
+    pub fn infusion_rate(&self) -> f64 {
+        self.infusion_mg_per_min
+    }
+
+    /// Instantaneously adds `mg` of drug to the central compartment.
+    /// Negative or non-finite doses are ignored.
+    pub fn give_bolus(&mut self, mg: f64) {
+        if mg.is_finite() && mg > 0.0 {
+            self.state.a_central += mg;
+            self.total_administered_mg += mg;
+        }
+    }
+
+    /// Sets the continuous infusion rate (mg/min); clamped at zero.
+    pub fn set_infusion_rate(&mut self, mg_per_min: f64) {
+        self.infusion_mg_per_min = if mg_per_min.is_finite() { mg_per_min.max(0.0) } else { 0.0 };
+    }
+
+    fn derivatives(&self, s: &PkState) -> PkState {
+        let p = &self.params;
+        let cp = s.a_central / p.v1;
+        PkState {
+            a_central: self.infusion_mg_per_min - (p.k10 + p.k12) * s.a_central
+                + p.k21 * s.a_peripheral,
+            a_peripheral: p.k12 * s.a_central - p.k21 * s.a_peripheral,
+            ce: p.ke0 * (cp - s.ce),
+        }
+    }
+
+    /// Advances the model by `dt_secs` seconds using one RK4 step.
+    ///
+    /// Steps of ≤ 5 s are well inside the stability region for the
+    /// nominal rate constants.
+    pub fn step(&mut self, dt_secs: f64) {
+        debug_assert!(dt_secs > 0.0 && dt_secs.is_finite());
+        let dt_min = dt_secs / 60.0;
+        let add = |s: &PkState, d: &PkState, h: f64| PkState {
+            a_central: s.a_central + d.a_central * h,
+            a_peripheral: s.a_peripheral + d.a_peripheral * h,
+            ce: s.ce + d.ce * h,
+        };
+        let s = self.state;
+        let k1 = self.derivatives(&s);
+        let k2 = self.derivatives(&add(&s, &k1, dt_min / 2.0));
+        let k3 = self.derivatives(&add(&s, &k2, dt_min / 2.0));
+        let k4 = self.derivatives(&add(&s, &k3, dt_min));
+        self.state = PkState {
+            a_central: (s.a_central
+                + dt_min / 6.0
+                    * (k1.a_central + 2.0 * k2.a_central + 2.0 * k3.a_central + k4.a_central))
+                .max(0.0),
+            a_peripheral: (s.a_peripheral
+                + dt_min / 6.0
+                    * (k1.a_peripheral
+                        + 2.0 * k2.a_peripheral
+                        + 2.0 * k3.a_peripheral
+                        + k4.a_peripheral))
+                .max(0.0),
+            ce: (s.ce + dt_min / 6.0 * (k1.ce + 2.0 * k2.ce + 2.0 * k3.ce + k4.ce)).max(0.0),
+        };
+        self.total_administered_mg += self.infusion_mg_per_min * dt_min;
+    }
+}
+
+impl Default for PkModel {
+    fn default() -> Self {
+        PkModel::new(PkParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_secs(pk: &mut PkModel, secs: u64) {
+        for _ in 0..secs {
+            pk.step(1.0);
+        }
+    }
+
+    #[test]
+    fn bolus_raises_then_decays() {
+        let mut pk = PkModel::default();
+        pk.give_bolus(5.0);
+        let c0 = pk.plasma_conc();
+        assert!(c0 > 0.0);
+        run_secs(&mut pk, 60 * 60); // 1 hour
+        let c1 = pk.plasma_conc();
+        assert!(c1 < c0, "plasma should decay: {c1} !< {c0}");
+        run_secs(&mut pk, 5 * 60 * 60);
+        assert!(pk.plasma_conc() < 0.1 * c0, "most drug eliminated after 6h");
+    }
+
+    #[test]
+    fn effect_site_lags_plasma() {
+        let mut pk = PkModel::default();
+        pk.give_bolus(5.0);
+        // Immediately after the bolus: plasma high, effect site ~0.
+        assert!(pk.effect_site_conc() < 1e-9);
+        run_secs(&mut pk, 120);
+        let ce_2min = pk.effect_site_conc();
+        assert!(ce_2min > 0.0 && ce_2min < pk.plasma_conc());
+        // Peak effect-site concentration occurs minutes after the bolus.
+        let mut peak_at = 0u64;
+        let mut peak = ce_2min;
+        let mut t = 120u64;
+        for _ in 0..(40 * 60) {
+            pk.step(1.0);
+            t += 1;
+            if pk.effect_site_conc() > peak {
+                peak = pk.effect_site_conc();
+                peak_at = t;
+            }
+        }
+        assert!(peak_at > 300, "Ce peak should come minutes after bolus, got {peak_at}s");
+    }
+
+    #[test]
+    fn infusion_reaches_steady_state() {
+        let mut pk = PkModel::default();
+        pk.set_infusion_rate(0.05); // mg/min
+        run_secs(&mut pk, 12 * 60 * 60);
+        let c_ss = pk.plasma_conc();
+        // Analytic steady state: rate / (k10 * V1).
+        let expected = 0.05 / (pk.params().k10 * pk.params().v1);
+        assert!((c_ss - expected).abs() / expected < 0.02, "c_ss={c_ss} expected={expected}");
+        // Effect site equilibrates to plasma at steady state.
+        assert!((pk.effect_site_conc() - c_ss).abs() / c_ss < 0.02);
+    }
+
+    #[test]
+    fn mass_balance_is_conserved_without_elimination() {
+        let params = PkParams { k10: 1e-9, ..PkParams::default() }; // effectively no elimination
+        let mut pk = PkModel::new(params);
+        pk.give_bolus(10.0);
+        run_secs(&mut pk, 3600);
+        let total = pk.state().a_central + pk.state().a_peripheral;
+        assert!((total - 10.0).abs() < 0.01, "mass drifted to {total}");
+    }
+
+    #[test]
+    fn negative_inputs_rejected() {
+        let mut pk = PkModel::default();
+        pk.give_bolus(-3.0);
+        pk.give_bolus(f64::NAN);
+        assert_eq!(pk.total_administered_mg(), 0.0);
+        pk.set_infusion_rate(-1.0);
+        assert_eq!(pk.infusion_rate(), 0.0);
+    }
+
+    #[test]
+    fn total_administered_counts_infusion() {
+        let mut pk = PkModel::default();
+        pk.set_infusion_rate(1.0); // mg/min
+        run_secs(&mut pk, 600); // 10 min
+        assert!((pk.total_administered_mg() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid PK parameters")]
+    fn invalid_params_panic() {
+        let p = PkParams { v1: 0.0, ..PkParams::default() };
+        let _ = PkModel::new(p);
+    }
+
+    #[test]
+    fn weight_scaling() {
+        let light = PkParams::for_weight_kg(50.0);
+        let heavy = PkParams::for_weight_kg(100.0);
+        assert!(heavy.v1 > light.v1);
+        // Same bolus produces lower concentration in the heavier patient.
+        let mut a = PkModel::new(light);
+        let mut b = PkModel::new(heavy);
+        a.give_bolus(2.0);
+        b.give_bolus(2.0);
+        assert!(a.plasma_conc() > b.plasma_conc());
+    }
+}

@@ -1,0 +1,157 @@
+//! Vital-sign vocabulary shared by patients, sensors, devices and apps.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The physiological quantities an MCPS observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum VitalKind {
+    /// Peripheral oxygen saturation, percent (SpO₂).
+    Spo2,
+    /// Heart rate, beats per minute.
+    HeartRate,
+    /// Respiratory rate, breaths per minute.
+    RespRate,
+    /// End-tidal CO₂ partial pressure, mmHg.
+    Etco2,
+    /// Systolic blood pressure, mmHg.
+    BpSystolic,
+    /// Diastolic blood pressure, mmHg.
+    BpDiastolic,
+    /// Minute ventilation, litres per minute.
+    MinuteVentilation,
+}
+
+impl VitalKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [VitalKind; 7] = [
+        VitalKind::Spo2,
+        VitalKind::HeartRate,
+        VitalKind::RespRate,
+        VitalKind::Etco2,
+        VitalKind::BpSystolic,
+        VitalKind::BpDiastolic,
+        VitalKind::MinuteVentilation,
+    ];
+
+    /// Unit string for display.
+    pub fn unit(self) -> &'static str {
+        match self {
+            VitalKind::Spo2 => "%",
+            VitalKind::HeartRate => "bpm",
+            VitalKind::RespRate => "breaths/min",
+            VitalKind::Etco2 | VitalKind::BpSystolic | VitalKind::BpDiastolic => "mmHg",
+            VitalKind::MinuteVentilation => "L/min",
+        }
+    }
+
+    /// The physiologically representable range for this vital; sensor
+    /// outputs are clamped into it.
+    pub fn plausible_range(self) -> (f64, f64) {
+        match self {
+            VitalKind::Spo2 => (0.0, 100.0),
+            VitalKind::HeartRate => (0.0, 300.0),
+            VitalKind::RespRate => (0.0, 80.0),
+            VitalKind::Etco2 => (0.0, 150.0),
+            VitalKind::BpSystolic => (0.0, 300.0),
+            VitalKind::BpDiastolic => (0.0, 200.0),
+            VitalKind::MinuteVentilation => (0.0, 60.0),
+        }
+    }
+}
+
+impl fmt::Display for VitalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VitalKind::Spo2 => "SpO2",
+            VitalKind::HeartRate => "HR",
+            VitalKind::RespRate => "RR",
+            VitalKind::Etco2 => "EtCO2",
+            VitalKind::BpSystolic => "BPsys",
+            VitalKind::BpDiastolic => "BPdia",
+            VitalKind::MinuteVentilation => "MV",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A snapshot of every true (noise-free) vital at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VitalsFrame {
+    /// SpO₂, percent.
+    pub spo2: f64,
+    /// Heart rate, bpm.
+    pub heart_rate: f64,
+    /// Respiratory rate, breaths/min.
+    pub resp_rate: f64,
+    /// End-tidal CO₂, mmHg.
+    pub etco2: f64,
+    /// Systolic blood pressure, mmHg.
+    pub bp_systolic: f64,
+    /// Diastolic blood pressure, mmHg.
+    pub bp_diastolic: f64,
+    /// Minute ventilation, L/min.
+    pub minute_ventilation: f64,
+}
+
+impl VitalsFrame {
+    /// The value of one vital kind in this frame.
+    pub fn value(&self, kind: VitalKind) -> f64 {
+        match kind {
+            VitalKind::Spo2 => self.spo2,
+            VitalKind::HeartRate => self.heart_rate,
+            VitalKind::RespRate => self.resp_rate,
+            VitalKind::Etco2 => self.etco2,
+            VitalKind::BpSystolic => self.bp_systolic,
+            VitalKind::BpDiastolic => self.bp_diastolic,
+            VitalKind::MinuteVentilation => self.minute_ventilation,
+        }
+    }
+}
+
+impl fmt::Display for VitalsFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SpO2={:.1}% HR={:.0} RR={:.1} EtCO2={:.1} BP={:.0}/{:.0} MV={:.1}",
+            self.spo2,
+            self.heart_rate,
+            self.resp_rate,
+            self.etco2,
+            self.bp_systolic,
+            self.bp_diastolic,
+            self.minute_ventilation
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_and_display_nonempty() {
+        for k in VitalKind::ALL {
+            assert!(!k.unit().is_empty());
+            assert!(!k.to_string().is_empty());
+            let (lo, hi) = k.plausible_range();
+            assert!(lo < hi);
+        }
+    }
+
+    #[test]
+    fn frame_value_matches_fields() {
+        let f = VitalsFrame {
+            spo2: 97.0,
+            heart_rate: 70.0,
+            resp_rate: 14.0,
+            etco2: 38.0,
+            bp_systolic: 120.0,
+            bp_diastolic: 80.0,
+            minute_ventilation: 6.0,
+        };
+        assert_eq!(f.value(VitalKind::Spo2), 97.0);
+        assert_eq!(f.value(VitalKind::MinuteVentilation), 6.0);
+        assert!(f.to_string().contains("SpO2=97.0%"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Assembling the complete assurance case from the safety artefacts.
+//!
+//! Ties the pillars together mechanically: the hazard log provides the
+//! claims, the traceability matrix provides the decomposition and
+//! evidence, and fresh verification verdicts are attached as solutions.
+//! The resulting GSN case is structurally validated — an undeveloped
+//! goal or an uncovered hazard fails the build, not the audit.
+
+use crate::checker::CheckOutcome;
+use crate::gsn::{AssuranceCase, NodeKind};
+use crate::hazard::HazardLog;
+use crate::models::PcaModelVariant;
+use crate::requirements::TraceabilityMatrix;
+
+/// Builds the GSN assurance case for a system described by `hazards`
+/// and `matrix`, attaching `verification` verdicts as live evidence.
+///
+/// The argument structure is the standard hazard-directed pattern:
+/// top goal → strategy "argue over every hazard" → per-hazard goals →
+/// per-requirement goals → solution nodes citing the evidence.
+pub fn build_assurance_case(
+    system_name: &str,
+    hazards: &HazardLog,
+    matrix: &TraceabilityMatrix,
+    verification: &[(PcaModelVariant, CheckOutcome)],
+) -> AssuranceCase {
+    let mut ac = AssuranceCase::new();
+    let g_top = ac.goal("G1", &format!("{system_name} is acceptably safe for clinical use"));
+    let ctx = ac.add(
+        NodeKind::Context,
+        "C1",
+        "ICE architecture; devices associate on demand via capability profiles",
+    );
+    ac.in_context_of(g_top, ctx);
+    let s1 = ac.strategy("S1", "Argue mitigation of every identified hazard");
+    ac.supported_by(g_top, s1);
+    let j1 = ac.add(
+        NodeKind::Justification,
+        "J1",
+        "Hazard log reviewed for completeness against the clinical scenario set",
+    );
+    ac.in_context_of(s1, j1);
+
+    for h in hazards.hazards() {
+        let gh = ac.goal(&format!("G-{}", h.id), &format!("{} is mitigated", h.description));
+        ac.supported_by(s1, gh);
+        let reqs = matrix.for_hazard(&h.id);
+        if reqs.is_empty() {
+            // Leave the goal undeveloped: validation will flag it.
+            continue;
+        }
+        for r in reqs {
+            let gr = ac.goal(&format!("G-{}", r.id), &r.text);
+            ac.supported_by(gh, gr);
+            let evidence = r
+                .verified_by
+                .iter()
+                .map(|e| format!("{} [{}]", e.reference, e.method))
+                .collect::<Vec<_>>()
+                .join("; ");
+            let sn = ac.solution(&format!("Sn-{}", r.id), &evidence);
+            ac.supported_by(gr, sn);
+        }
+    }
+
+    // Live verification verdicts.
+    if !verification.is_empty() {
+        let gv = ac.goal("G-V", "Interlock timing properties verified by model checking");
+        ac.supported_by(s1, gv);
+        for (variant, outcome) in verification {
+            let text = match outcome {
+                CheckOutcome::Holds { states } => {
+                    format!("{}: HOLDS over {states} states", variant.description())
+                }
+                CheckOutcome::Violated { trace, .. } => format!(
+                    "{}: VIOLATED (defect demonstrated in {} model-time units)",
+                    variant.description(),
+                    trace.elapsed()
+                ),
+                CheckOutcome::Exhausted { budget } => {
+                    format!("{}: exploration exhausted at {budget}", variant.description())
+                }
+            };
+            let sn = ac.solution(&format!("Sn-V-{variant:?}"), &text);
+            ac.supported_by(gv, sn);
+        }
+    }
+    ac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hazard::pca_hazard_log;
+    use crate::models::check_pca_variant;
+    use crate::requirements::pca_requirements;
+
+    fn verdicts() -> Vec<(PcaModelVariant, CheckOutcome)> {
+        [PcaModelVariant::CommandReliable, PcaModelVariant::TicketLossy]
+            .into_iter()
+            .map(|v| (v, check_pca_variant(v, 2_000_000)))
+            .collect()
+    }
+
+    #[test]
+    fn shipped_artifacts_build_a_complete_case() {
+        let ac = build_assurance_case(
+            "The PCA closed-loop MCPS",
+            &pca_hazard_log(),
+            &pca_requirements(),
+            &verdicts(),
+        );
+        let issues = ac.validate();
+        assert!(issues.is_empty(), "{issues:?}");
+        let text = ac.render_text();
+        for needle in ["G-H1", "G-SR1", "Sn-SR5", "G-V", "HOLDS"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn uncovered_hazard_leaves_undeveloped_goal() {
+        let mut hazards = pca_hazard_log();
+        hazards.add(crate::hazard::Hazard {
+            id: "H9".into(),
+            description: "novel hazard nobody addressed".into(),
+            cause: "?".into(),
+            severity: crate::hazard::Severity::Serious,
+            initial_likelihood: crate::hazard::Likelihood::Occasional,
+            mitigations: vec![],
+        });
+        let ac = build_assurance_case("X", &hazards, &pca_requirements(), &[]);
+        let issues = ac.validate();
+        assert!(
+            issues.iter().any(|i| i.to_string().contains("G-H9")),
+            "undeveloped goal must surface: {issues:?}"
+        );
+    }
+
+    #[test]
+    fn case_without_verification_is_still_structured() {
+        let ac = build_assurance_case("X", &pca_hazard_log(), &pca_requirements(), &[]);
+        assert!(ac.validate().is_empty());
+        assert!(!ac.render_dot().contains("G-V"));
+    }
+}

@@ -1,0 +1,346 @@
+//! Timed automata with integer clocks.
+//!
+//! The model-based development story of the paper rests on verifying
+//! device and interlock state machines *before* deployment. This module
+//! defines the modelling vocabulary: automata with locations, location
+//! invariants, guarded edges, clock resets and CCS-style channel
+//! synchronization (`send`/`recv` rendezvous). Semantics are
+//! **discrete-time**: clocks advance in unit steps, which is adequate
+//! for the second-granularity timing properties of clinical interlocks
+//! and keeps the checker (see [`crate::checker`]) fully self-contained.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a location within one automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LocId(pub usize);
+
+/// Index of a clock within one automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClockId(pub usize);
+
+/// A conjunction-structured clock constraint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Guard {
+    /// Always satisfied.
+    True,
+    /// `clock >= bound`.
+    Ge(ClockId, u32),
+    /// `clock > bound`.
+    Gt(ClockId, u32),
+    /// `clock <= bound`.
+    Le(ClockId, u32),
+    /// `clock < bound`.
+    Lt(ClockId, u32),
+    /// `clock == bound`.
+    Eq(ClockId, u32),
+    /// All subguards hold.
+    And(Vec<Guard>),
+}
+
+impl Guard {
+    /// Evaluates against a clock valuation.
+    pub fn eval(&self, clocks: &[u32]) -> bool {
+        match self {
+            Guard::True => true,
+            Guard::Ge(c, b) => clocks[c.0] >= *b,
+            Guard::Gt(c, b) => clocks[c.0] > *b,
+            Guard::Le(c, b) => clocks[c.0] <= *b,
+            Guard::Lt(c, b) => clocks[c.0] < *b,
+            Guard::Eq(c, b) => clocks[c.0] == *b,
+            Guard::And(gs) => gs.iter().all(|g| g.eval(clocks)),
+        }
+    }
+
+    /// The largest constant mentioned for `clock` (for ceiling
+    /// computation).
+    pub fn max_constant(&self, clock: ClockId) -> u32 {
+        match self {
+            Guard::True => 0,
+            Guard::Ge(c, b) | Guard::Gt(c, b) | Guard::Le(c, b) | Guard::Lt(c, b)
+            | Guard::Eq(c, b) => {
+                if *c == clock {
+                    *b
+                } else {
+                    0
+                }
+            }
+            Guard::And(gs) => gs.iter().map(|g| g.max_constant(clock)).max().unwrap_or(0),
+        }
+    }
+}
+
+/// What an edge does besides moving between locations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// Purely internal step.
+    Internal,
+    /// Offer a rendezvous on `channel` (`channel!`).
+    Send(String),
+    /// Accept a rendezvous on `channel` (`channel?`).
+    Recv(String),
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Internal => f.write_str("τ"),
+            Action::Send(c) => write!(f, "{c}!"),
+            Action::Recv(c) => write!(f, "{c}?"),
+        }
+    }
+}
+
+/// A guarded, possibly synchronizing transition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source location.
+    pub from: LocId,
+    /// Target location.
+    pub to: LocId,
+    /// Enabling clock constraint.
+    pub guard: Guard,
+    /// Clocks reset to zero when the edge fires.
+    pub resets: Vec<ClockId>,
+    /// Synchronization behaviour.
+    pub action: Action,
+    /// Display label for traces.
+    pub label: String,
+}
+
+/// A location with its time-progress invariant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Location {
+    /// Display name.
+    pub name: String,
+    /// Time may only pass while the invariant holds.
+    pub invariant: Guard,
+    /// Urgent locations forbid the passage of time entirely.
+    pub urgent: bool,
+}
+
+/// One timed automaton.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Automaton {
+    name: String,
+    locations: Vec<Location>,
+    clocks: Vec<String>,
+    edges: Vec<Edge>,
+    initial: LocId,
+}
+
+impl Automaton {
+    /// Starts building an automaton.
+    pub fn builder(name: &str) -> AutomatonBuilder {
+        AutomatonBuilder {
+            a: Automaton {
+                name: name.to_owned(),
+                locations: Vec::new(),
+                clocks: Vec::new(),
+                edges: Vec::new(),
+                initial: LocId(0),
+            },
+        }
+    }
+
+    /// The automaton's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All locations.
+    pub fn locations(&self) -> &[Location] {
+        &self.locations
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Clock names.
+    pub fn clocks(&self) -> &[String] {
+        &self.clocks
+    }
+
+    /// The initial location.
+    pub fn initial(&self) -> LocId {
+        self.initial
+    }
+
+    /// Finds a location id by name.
+    pub fn location_id(&self, name: &str) -> Option<LocId> {
+        self.locations.iter().position(|l| l.name == name).map(LocId)
+    }
+
+    /// The ceiling (max constant + 1) of each clock across all guards
+    /// and invariants. Clock values above the ceiling are
+    /// indistinguishable, so the checker caps them there.
+    pub fn clock_ceilings(&self) -> Vec<u32> {
+        (0..self.clocks.len())
+            .map(|i| {
+                let c = ClockId(i);
+                let g = self.edges.iter().map(|e| e.guard.max_constant(c)).max().unwrap_or(0);
+                let inv =
+                    self.locations.iter().map(|l| l.invariant.max_constant(c)).max().unwrap_or(0);
+                g.max(inv) + 1
+            })
+            .collect()
+    }
+
+    /// Basic well-formedness: edges reference valid locations/clocks,
+    /// initial location exists.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.locations.is_empty() {
+            return Err(format!("automaton {} has no locations", self.name));
+        }
+        if self.initial.0 >= self.locations.len() {
+            return Err(format!("automaton {}: initial location out of range", self.name));
+        }
+        for e in &self.edges {
+            if e.from.0 >= self.locations.len() || e.to.0 >= self.locations.len() {
+                return Err(format!("automaton {}: edge {} references unknown location", self.name, e.label));
+            }
+            for r in &e.resets {
+                if r.0 >= self.clocks.len() {
+                    return Err(format!("automaton {}: edge {} resets unknown clock", self.name, e.label));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Automaton`].
+#[derive(Debug, Clone)]
+pub struct AutomatonBuilder {
+    a: Automaton,
+}
+
+impl AutomatonBuilder {
+    /// Declares a clock; returns its id.
+    pub fn clock(&mut self, name: &str) -> ClockId {
+        self.a.clocks.push(name.to_owned());
+        ClockId(self.a.clocks.len() - 1)
+    }
+
+    /// Declares a location; the first one declared is initial unless
+    /// [`Self::initial`] overrides it.
+    pub fn location(&mut self, name: &str) -> LocId {
+        self.a.locations.push(Location {
+            name: name.to_owned(),
+            invariant: Guard::True,
+            urgent: false,
+        });
+        LocId(self.a.locations.len() - 1)
+    }
+
+    /// Declares an urgent location (time cannot pass in it).
+    pub fn urgent_location(&mut self, name: &str) -> LocId {
+        let id = self.location(name);
+        self.a.locations[id.0].urgent = true;
+        id
+    }
+
+    /// Sets a location's invariant.
+    pub fn invariant(&mut self, loc: LocId, inv: Guard) -> &mut Self {
+        self.a.locations[loc.0].invariant = inv;
+        self
+    }
+
+    /// Overrides the initial location.
+    pub fn initial(&mut self, loc: LocId) -> &mut Self {
+        self.a.initial = loc;
+        self
+    }
+
+    /// Adds an edge.
+    pub fn edge(
+        &mut self,
+        label: &str,
+        from: LocId,
+        to: LocId,
+        guard: Guard,
+        action: Action,
+        resets: Vec<ClockId>,
+    ) -> &mut Self {
+        self.a.edges.push(Edge { from, to, guard, resets, action, label: label.to_owned() });
+        self
+    }
+
+    /// Finishes the automaton.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the automaton fails [`Automaton::validate`].
+    pub fn build(self) -> Automaton {
+        if let Err(e) = self.a.validate() {
+            panic!("invalid automaton: {e}");
+        }
+        self.a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> Automaton {
+        let mut b = Automaton::builder("lamp");
+        let x = b.clock("x");
+        let off = b.location("Off");
+        let on = b.location("On");
+        b.invariant(on, Guard::Le(x, 10));
+        b.edge("press", off, on, Guard::True, Action::Recv("press".into()), vec![x]);
+        b.edge("timeout", on, off, Guard::Ge(x, 10), Action::Internal, vec![]);
+        b.build()
+    }
+
+    #[test]
+    fn guard_evaluation() {
+        let c = ClockId(0);
+        assert!(Guard::Ge(c, 5).eval(&[5]));
+        assert!(!Guard::Gt(c, 5).eval(&[5]));
+        assert!(Guard::Le(c, 5).eval(&[5]));
+        assert!(!Guard::Lt(c, 5).eval(&[5]));
+        assert!(Guard::Eq(c, 5).eval(&[5]));
+        assert!(Guard::And(vec![Guard::Ge(c, 3), Guard::Le(c, 7)]).eval(&[5]));
+        assert!(!Guard::And(vec![Guard::Ge(c, 3), Guard::Le(c, 4)]).eval(&[5]));
+        assert!(Guard::True.eval(&[5]));
+    }
+
+    #[test]
+    fn ceilings_cover_guards_and_invariants() {
+        let a = simple();
+        assert_eq!(a.clock_ceilings(), vec![11]);
+    }
+
+    #[test]
+    fn location_lookup() {
+        let a = simple();
+        assert_eq!(a.location_id("On"), Some(LocId(1)));
+        assert_eq!(a.location_id("Nope"), None);
+        assert_eq!(a.initial(), LocId(0));
+    }
+
+    #[test]
+    fn max_constant_per_clock() {
+        let g = Guard::And(vec![Guard::Ge(ClockId(0), 7), Guard::Le(ClockId(1), 3)]);
+        assert_eq!(g.max_constant(ClockId(0)), 7);
+        assert_eq!(g.max_constant(ClockId(1)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid automaton")]
+    fn empty_automaton_rejected() {
+        let _ = Automaton::builder("empty").build();
+    }
+
+    #[test]
+    fn action_display() {
+        assert_eq!(Action::Send("stop".into()).to_string(), "stop!");
+        assert_eq!(Action::Recv("stop".into()).to_string(), "stop?");
+        assert_eq!(Action::Internal.to_string(), "τ");
+    }
+}

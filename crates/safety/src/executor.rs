@@ -1,0 +1,292 @@
+//! Executing verified models: the code-generation pillar.
+//!
+//! Model-based development closes the loop between verification and
+//! implementation by *deriving* the runtime from the verified model
+//! rather than re-implementing it by hand. [`AutomatonExecutor`]
+//! interprets a single [`Automaton`] under the same discrete-time
+//! semantics the checker explores: what the checker proved is what the
+//! executor runs. Conformance tests in `mcps-core` drive the executor
+//! and the hand-written device side by side and assert agreement.
+//!
+//! The executor is deliberately *deterministic* where the model is
+//! nondeterministic: urgent/forced transitions fire as soon as they are
+//! enabled (the earliest behaviour in the model's set), which is the
+//! standard refinement choice for generated controllers.
+
+use crate::automaton::{Action, Automaton, LocId};
+use serde::{Deserialize, Serialize};
+
+/// What happened during one executor step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecEvent {
+    /// An internal edge fired.
+    Fired {
+        /// The edge label.
+        label: String,
+    },
+    /// Time advanced without any forced transition.
+    Idle,
+}
+
+/// Error: the offered channel event has no enabled receiving edge.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NotEnabled {
+    /// The channel that was offered.
+    pub channel: String,
+    /// The location the executor was in.
+    pub location: String,
+}
+
+impl std::fmt::Display for NotEnabled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no enabled edge receives {:?} in location {}", self.channel, self.location)
+    }
+}
+
+impl std::error::Error for NotEnabled {}
+
+/// A deterministic interpreter of one timed automaton.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutomatonExecutor {
+    automaton: Automaton,
+    loc: LocId,
+    clocks: Vec<u32>,
+    ceilings: Vec<u32>,
+    fired_log: Vec<(u64, String)>,
+    /// Total discrete time units elapsed.
+    elapsed: u64,
+}
+
+impl AutomatonExecutor {
+    /// Creates an executor at the automaton's initial location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the automaton is invalid.
+    pub fn new(automaton: Automaton) -> Self {
+        if let Err(e) = automaton.validate() {
+            panic!("invalid automaton: {e}");
+        }
+        let ceilings = automaton.clock_ceilings();
+        let clocks = vec![0; automaton.clocks().len()];
+        let loc = automaton.initial();
+        AutomatonExecutor { automaton, loc, clocks, ceilings, fired_log: Vec::new(), elapsed: 0 }
+    }
+
+    /// The current location's name.
+    pub fn location(&self) -> &str {
+        &self.automaton.locations()[self.loc.0].name
+    }
+
+    /// Whether the executor is in the named location.
+    pub fn in_location(&self, name: &str) -> bool {
+        self.location() == name
+    }
+
+    /// The (capped) value of a clock by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock does not exist.
+    pub fn clock(&self, name: &str) -> u32 {
+        let i = self
+            .automaton
+            .clocks()
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("no clock named {name}"));
+        self.clocks[i]
+    }
+
+    /// Total time units elapsed.
+    pub fn elapsed(&self) -> u64 {
+        self.elapsed
+    }
+
+    /// The log of fired edges as `(elapsed, label)`.
+    pub fn fired_log(&self) -> &[(u64, String)] {
+        &self.fired_log
+    }
+
+    fn edge_enabled(&self, e: &crate::automaton::Edge) -> bool {
+        self.loc == e.from && e.guard.eval(&self.clocks) && {
+            let mut clocks = self.clocks.clone();
+            for r in &e.resets {
+                clocks[r.0] = 0;
+            }
+            self.automaton.locations()[e.to.0].invariant.eval(&clocks)
+        }
+    }
+
+    fn apply(&mut self, idx: usize) {
+        let e = &self.automaton.edges()[idx];
+        self.loc = e.to;
+        let label = e.label.clone();
+        for r in &e.resets {
+            self.clocks[r.0] = 0;
+        }
+        self.fired_log.push((self.elapsed, label));
+    }
+
+    /// Offers a channel event (as `channel?` input). Fires the first
+    /// enabled receiving edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotEnabled`] if no receiving edge is enabled — the
+    /// caller decides whether that is a protocol error or an ignorable
+    /// duplicate.
+    pub fn offer(&mut self, channel: &str) -> Result<String, NotEnabled> {
+        let idx = self
+            .automaton
+            .edges()
+            .iter()
+            .position(|e| e.action == Action::Recv(channel.to_owned()) && self.edge_enabled(e));
+        match idx {
+            Some(i) => {
+                self.apply(i);
+                Ok(self.fired_log.last().expect("just pushed").1.clone())
+            }
+            None => Err(NotEnabled {
+                channel: channel.to_owned(),
+                location: self.location().to_owned(),
+            }),
+        }
+    }
+
+    /// Fires enabled *forced* internal edges: any internal edge whose
+    /// source invariant would otherwise be violated by waiting, and —
+    /// deterministically — any internal edge that is enabled while its
+    /// location is urgent. Returns the labels fired.
+    fn fire_forced(&mut self) -> Vec<String> {
+        let mut fired = Vec::new();
+        loop {
+            let urgent = self.automaton.locations()[self.loc.0].urgent;
+            // Would the invariant still hold after one more tick?
+            let bumped: Vec<u32> = self
+                .clocks
+                .iter()
+                .enumerate()
+                .map(|(c, &v)| (v + 1).min(self.ceilings[c]))
+                .collect();
+            let must_move =
+                urgent || !self.automaton.locations()[self.loc.0].invariant.eval(&bumped);
+            if !must_move {
+                return fired;
+            }
+            let idx = self
+                .automaton
+                .edges()
+                .iter()
+                .position(|e| e.action == Action::Internal && self.edge_enabled(e));
+            match idx {
+                Some(i) => {
+                    self.apply(i);
+                    fired.push(self.fired_log.last().expect("just pushed").1.clone());
+                }
+                None => return fired, // deadlocked model; caller observes no progress
+            }
+        }
+    }
+
+    /// Advances time by `units`, firing forced transitions at the
+    /// instants the model requires them. Returns every edge fired.
+    pub fn advance(&mut self, units: u64) -> Vec<String> {
+        let mut fired = self.fire_forced();
+        for _ in 0..units {
+            for (c, v) in self.clocks.iter_mut().enumerate() {
+                *v = (*v + 1).min(self.ceilings[c]);
+            }
+            self.elapsed += 1;
+            fired.extend(self.fire_forced());
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::Guard;
+    use crate::models::{pump_ticket_model, TICKET_VALIDITY};
+
+    /// A lamp: Off --press?--> On (invariant x<=5), On --x>=5--> Off.
+    fn lamp() -> AutomatonExecutor {
+        let mut b = Automaton::builder("lamp");
+        let x = b.clock("x");
+        let off = b.location("Off");
+        let on = b.location("On");
+        b.invariant(on, Guard::Le(x, 5));
+        b.edge("press", off, on, Guard::True, Action::Recv("press".into()), vec![x]);
+        b.edge("timeout", on, off, Guard::Ge(x, 5), Action::Internal, vec![]);
+        AutomatonExecutor::new(b.build())
+    }
+
+    #[test]
+    fn offer_fires_receiving_edge() {
+        let mut e = lamp();
+        assert!(e.in_location("Off"));
+        assert_eq!(e.offer("press").unwrap(), "press");
+        assert!(e.in_location("On"));
+        assert_eq!(e.clock("x"), 0);
+    }
+
+    #[test]
+    fn offer_without_enabled_edge_errors() {
+        let mut e = lamp();
+        let err = e.offer("bogus").unwrap_err();
+        assert_eq!(err.channel, "bogus");
+        assert!(err.to_string().contains("Off"));
+    }
+
+    #[test]
+    fn invariant_forces_timeout() {
+        let mut e = lamp();
+        e.offer("press").unwrap();
+        let fired = e.advance(5);
+        assert_eq!(fired, vec!["timeout".to_owned()]);
+        assert!(e.in_location("Off"));
+        assert_eq!(e.elapsed(), 5);
+    }
+
+    #[test]
+    fn advance_without_pressure_is_quiet() {
+        let mut e = lamp();
+        assert!(e.advance(100).is_empty());
+        assert!(e.in_location("Off"));
+    }
+
+    #[test]
+    fn fired_log_records_history() {
+        let mut e = lamp();
+        e.offer("press").unwrap();
+        e.advance(5);
+        e.offer("press").unwrap();
+        let labels: Vec<&str> = e.fired_log().iter().map(|(_, l)| l.as_str()).collect();
+        assert_eq!(labels, vec!["press", "timeout", "press"]);
+    }
+
+    /// Executing the verified ticket-pump model: it must self-stop
+    /// exactly when the model says — `TICKET_VALIDITY` after the last
+    /// ticket.
+    #[test]
+    fn ticket_pump_model_executes_to_its_verified_deadline() {
+        let mut e = AutomatonExecutor::new(pump_ticket_model());
+        assert!(e.in_location("Running"));
+        // Keep it alive with tickets every 2 units for a while.
+        for _ in 0..10 {
+            e.advance(2);
+            e.offer("ticket_d").expect("ticket accepted while running");
+        }
+        assert!(e.in_location("Running"));
+        // Tickets cease: the pump must stop exactly at validity.
+        let fired = e.advance(u64::from(TICKET_VALIDITY));
+        assert_eq!(fired, vec!["expire".to_owned()]);
+        assert!(e.in_location("Stopped"));
+        // A fresh ticket resurrects delivery (matching the executable
+        // pump, whose supervisor resumes granting after recovery).
+        e.offer("ticket_d").expect("fresh ticket resurrects");
+        assert!(e.in_location("Running"));
+        assert_eq!(e.clock("t"), 0);
+    }
+}

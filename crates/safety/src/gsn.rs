@@ -1,0 +1,425 @@
+//! Goal Structuring Notation (GSN) assurance cases.
+//!
+//! Certifiability is one of the paper's six MCPS challenges: the safety
+//! argument for a bedside-assembled system must be explicit, auditable
+//! and mechanically checkable for structural completeness. This module
+//! provides a typed GSN graph — goals decomposed through strategies
+//! down to solutions (evidence) — with validation (acyclicity, no
+//! undeveloped goals) and text/DOT rendering.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The kind of a GSN node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A claim to be supported.
+    Goal,
+    /// How a goal is decomposed into subgoals.
+    Strategy,
+    /// Evidence that closes a goal (test report, proof, analysis).
+    Solution,
+    /// Contextual statement.
+    Context,
+    /// An assumption the argument rests on.
+    Assumption,
+    /// A justification of a strategy choice.
+    Justification,
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeKind::Goal => "Goal",
+            NodeKind::Strategy => "Strategy",
+            NodeKind::Solution => "Solution",
+            NodeKind::Context => "Context",
+            NodeKind::Assumption => "Assumption",
+            NodeKind::Justification => "Justification",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Identifier of a node within one assurance case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(usize);
+
+/// One GSN node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Short reference label, e.g. `"G1"`.
+    pub label: String,
+    /// The claim/strategy/evidence statement.
+    pub statement: String,
+}
+
+/// A GSN assurance case graph.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AssuranceCase {
+    nodes: Vec<Node>,
+    /// `supported_by[a]` = children that support `a`.
+    supported_by: BTreeMap<usize, Vec<usize>>,
+    /// `in_context_of[a]` = context/assumption nodes attached to `a`.
+    in_context_of: BTreeMap<usize, Vec<usize>>,
+    root: Option<usize>,
+}
+
+/// A structural problem found by [`AssuranceCase::validate`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GsnIssue {
+    /// No root goal has been set.
+    NoRoot,
+    /// A goal has no supporting children (undeveloped).
+    UndevelopedGoal(String),
+    /// A strategy has no supporting subgoals/solutions.
+    EmptyStrategy(String),
+    /// The support graph contains a cycle through this node.
+    Cycle(String),
+    /// A solution supports nothing / is unreachable from the root.
+    Orphan(String),
+    /// An edge violates GSN typing rules.
+    BadEdge(String, String),
+}
+
+impl fmt::Display for GsnIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GsnIssue::NoRoot => f.write_str("no root goal set"),
+            GsnIssue::UndevelopedGoal(l) => write!(f, "goal {l} is undeveloped (no support)"),
+            GsnIssue::EmptyStrategy(l) => write!(f, "strategy {l} has no subgoals"),
+            GsnIssue::Cycle(l) => write!(f, "support cycle through {l}"),
+            GsnIssue::Orphan(l) => write!(f, "node {l} is unreachable from the root"),
+            GsnIssue::BadEdge(a, b) => write!(f, "edge {a} -> {b} violates GSN typing"),
+        }
+    }
+}
+
+impl AssuranceCase {
+    /// An empty case.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node and returns its id. The first goal added becomes the
+    /// root unless [`Self::set_root`] overrides it.
+    pub fn add(&mut self, kind: NodeKind, label: &str, statement: &str) -> NodeId {
+        self.nodes.push(Node { kind, label: label.to_owned(), statement: statement.to_owned() });
+        let id = self.nodes.len() - 1;
+        if self.root.is_none() && kind == NodeKind::Goal {
+            self.root = Some(id);
+        }
+        NodeId(id)
+    }
+
+    /// Convenience: add a goal.
+    pub fn goal(&mut self, label: &str, statement: &str) -> NodeId {
+        self.add(NodeKind::Goal, label, statement)
+    }
+
+    /// Convenience: add a strategy.
+    pub fn strategy(&mut self, label: &str, statement: &str) -> NodeId {
+        self.add(NodeKind::Strategy, label, statement)
+    }
+
+    /// Convenience: add a solution (evidence).
+    pub fn solution(&mut self, label: &str, statement: &str) -> NodeId {
+        self.add(NodeKind::Solution, label, statement)
+    }
+
+    /// Sets the root goal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not a goal.
+    pub fn set_root(&mut self, root: NodeId) {
+        assert_eq!(self.nodes[root.0].kind, NodeKind::Goal, "root must be a goal");
+        self.root = Some(root.0);
+    }
+
+    /// Declares that `child` supports `parent` (SupportedBy edge).
+    pub fn supported_by(&mut self, parent: NodeId, child: NodeId) {
+        self.supported_by.entry(parent.0).or_default().push(child.0);
+    }
+
+    /// Attaches `context` to `node` (InContextOf edge).
+    pub fn in_context_of(&mut self, node: NodeId, context: NodeId) {
+        self.in_context_of.entry(node.0).or_default().push(context.0);
+    }
+
+    /// The node data for an id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the case is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Structural validation. An empty vector means the argument is
+    /// structurally complete (every goal developed down to solutions,
+    /// no cycles, everything reachable).
+    pub fn validate(&self) -> Vec<GsnIssue> {
+        let mut issues = Vec::new();
+        let Some(root) = self.root else {
+            return vec![GsnIssue::NoRoot];
+        };
+
+        // Edge typing: SupportedBy must go Goal->{Goal,Strategy,Solution},
+        // Strategy->{Goal,Solution}; InContextOf targets context-like nodes.
+        for (&p, children) in &self.supported_by {
+            for &c in children {
+                let ok = matches!(
+                    (self.nodes[p].kind, self.nodes[c].kind),
+                    (NodeKind::Goal, NodeKind::Goal)
+                        | (NodeKind::Goal, NodeKind::Strategy)
+                        | (NodeKind::Goal, NodeKind::Solution)
+                        | (NodeKind::Strategy, NodeKind::Goal)
+                        | (NodeKind::Strategy, NodeKind::Solution)
+                );
+                if !ok {
+                    issues.push(GsnIssue::BadEdge(
+                        self.nodes[p].label.clone(),
+                        self.nodes[c].label.clone(),
+                    ));
+                }
+            }
+        }
+        for (&n, ctxs) in &self.in_context_of {
+            for &c in ctxs {
+                let ok = matches!(
+                    self.nodes[c].kind,
+                    NodeKind::Context | NodeKind::Assumption | NodeKind::Justification
+                ) && matches!(self.nodes[n].kind, NodeKind::Goal | NodeKind::Strategy);
+                if !ok {
+                    issues.push(GsnIssue::BadEdge(
+                        self.nodes[n].label.clone(),
+                        self.nodes[c].label.clone(),
+                    ));
+                }
+            }
+        }
+
+        // Cycle detection (DFS colouring) over SupportedBy.
+        let mut colour = vec![0u8; self.nodes.len()];
+        let mut stack = vec![(root, false)];
+        let mut cycle: Option<usize> = None;
+        while let Some((n, done)) = stack.pop() {
+            if done {
+                colour[n] = 2;
+                continue;
+            }
+            if colour[n] == 1 {
+                continue;
+            }
+            colour[n] = 1;
+            stack.push((n, true));
+            for &c in self.supported_by.get(&n).into_iter().flatten() {
+                if colour[c] == 1 {
+                    cycle = Some(c);
+                } else if colour[c] == 0 {
+                    stack.push((c, false));
+                }
+            }
+        }
+        if let Some(c) = cycle {
+            issues.push(GsnIssue::Cycle(self.nodes[c].label.clone()));
+            return issues; // development checks unreliable with cycles
+        }
+
+        // Reachability from the root (through both edge kinds).
+        let mut reach = BTreeSet::new();
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            if !reach.insert(n) {
+                continue;
+            }
+            for &c in self.supported_by.get(&n).into_iter().flatten() {
+                stack.push(c);
+            }
+            for &c in self.in_context_of.get(&n).into_iter().flatten() {
+                stack.push(c);
+            }
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !reach.contains(&i) {
+                issues.push(GsnIssue::Orphan(node.label.clone()));
+            }
+        }
+
+        // Development: every reachable goal/strategy needs support.
+        for &n in &reach {
+            let node = &self.nodes[n];
+            let empty = self.supported_by.get(&n).is_none_or(|v| v.is_empty());
+            match node.kind {
+                NodeKind::Goal if empty => {
+                    issues.push(GsnIssue::UndevelopedGoal(node.label.clone()))
+                }
+                NodeKind::Strategy if empty => {
+                    issues.push(GsnIssue::EmptyStrategy(node.label.clone()))
+                }
+                _ => {}
+            }
+        }
+        issues
+    }
+
+    /// Renders the argument as an indented text tree from the root.
+    pub fn render_text(&self) -> String {
+        let Some(root) = self.root else {
+            return String::from("(no root goal)");
+        };
+        let mut out = String::new();
+        self.render_node(root, 0, &mut out, &mut BTreeSet::new());
+        out
+    }
+
+    fn render_node(&self, n: usize, depth: usize, out: &mut String, seen: &mut BTreeSet<usize>) {
+        use fmt::Write;
+        let node = &self.nodes[n];
+        let _ = writeln!(
+            out,
+            "{}[{}] {} — {}",
+            "  ".repeat(depth),
+            node.label,
+            node.kind,
+            node.statement
+        );
+        if !seen.insert(n) {
+            return;
+        }
+        for &c in self.in_context_of.get(&n).into_iter().flatten() {
+            let ctx = &self.nodes[c];
+            let _ = writeln!(out, "{}({}: {})", "  ".repeat(depth + 1), ctx.kind, ctx.statement);
+        }
+        for &c in self.supported_by.get(&n).into_iter().flatten() {
+            self.render_node(c, depth + 1, out, seen);
+        }
+    }
+
+    /// Renders the case as Graphviz DOT.
+    pub fn render_dot(&self) -> String {
+        use fmt::Write;
+        let mut out = String::from("digraph gsn {\n  rankdir=TB;\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let shape = match n.kind {
+                NodeKind::Goal => "box",
+                NodeKind::Strategy => "parallelogram",
+                NodeKind::Solution => "circle",
+                NodeKind::Context => "box, style=rounded",
+                NodeKind::Assumption | NodeKind::Justification => "ellipse",
+            };
+            let _ = writeln!(
+                out,
+                "  n{i} [shape={shape} label=\"{}\\n{}\"];",
+                n.label,
+                n.statement.replace('"', "'")
+            );
+        }
+        for (&p, cs) in &self.supported_by {
+            for &c in cs {
+                let _ = writeln!(out, "  n{p} -> n{c};");
+            }
+        }
+        for (&p, cs) in &self.in_context_of {
+            for &c in cs {
+                let _ = writeln!(out, "  n{p} -> n{c} [style=dashed];");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete_case() -> AssuranceCase {
+        let mut ac = AssuranceCase::new();
+        let g1 = ac.goal("G1", "The PCA MCPS is acceptably safe");
+        let s1 = ac.strategy("S1", "Argue over each identified hazard");
+        let g2 = ac.goal("G2", "Overdose hazard is mitigated");
+        let sn1 = ac.solution("Sn1", "Model-checking report E5");
+        let c1 = ac.add(NodeKind::Context, "C1", "Deployed per ICE architecture");
+        ac.supported_by(g1, s1);
+        ac.supported_by(s1, g2);
+        ac.supported_by(g2, sn1);
+        ac.in_context_of(g1, c1);
+        ac
+    }
+
+    #[test]
+    fn complete_case_validates_clean() {
+        assert!(complete_case().validate().is_empty());
+    }
+
+    #[test]
+    fn undeveloped_goal_is_flagged() {
+        let mut ac = complete_case();
+        let g3 = ac.goal("G3", "Alarms are trustworthy");
+        // Attach under the strategy but give it no evidence.
+        ac.supported_by(NodeId(1), g3);
+        let issues = ac.validate();
+        assert!(issues.iter().any(|i| matches!(i, GsnIssue::UndevelopedGoal(l) if l == "G3")), "{issues:?}");
+    }
+
+    #[test]
+    fn orphan_is_flagged() {
+        let mut ac = complete_case();
+        let lonely = ac.solution("Sn9", "unused evidence");
+        let _ = lonely;
+        let issues = ac.validate();
+        assert!(issues.iter().any(|i| matches!(i, GsnIssue::Orphan(l) if l == "Sn9")), "{issues:?}");
+    }
+
+    #[test]
+    fn cycle_is_flagged() {
+        let mut ac = AssuranceCase::new();
+        let g1 = ac.goal("G1", "a");
+        let g2 = ac.goal("G2", "b");
+        ac.supported_by(g1, g2);
+        ac.supported_by(g2, g1);
+        let issues = ac.validate();
+        assert!(issues.iter().any(|i| matches!(i, GsnIssue::Cycle(_))), "{issues:?}");
+    }
+
+    #[test]
+    fn bad_edge_typing_is_flagged() {
+        let mut ac = AssuranceCase::new();
+        let g1 = ac.goal("G1", "claim");
+        let sn = ac.solution("Sn1", "evidence");
+        // Solutions cannot be parents.
+        ac.supported_by(sn, g1);
+        ac.supported_by(g1, sn);
+        let issues = ac.validate();
+        assert!(issues.iter().any(|i| matches!(i, GsnIssue::BadEdge(a, _) if a == "Sn1")), "{issues:?}");
+    }
+
+    #[test]
+    fn missing_root_reported() {
+        let ac = AssuranceCase::new();
+        assert_eq!(ac.validate(), vec![GsnIssue::NoRoot]);
+    }
+
+    #[test]
+    fn renderers_mention_all_nodes() {
+        let ac = complete_case();
+        let txt = ac.render_text();
+        for l in ["G1", "S1", "G2", "Sn1"] {
+            assert!(txt.contains(l), "text render missing {l}:\n{txt}");
+        }
+        let dot = ac.render_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0 -> n1"));
+    }
+}

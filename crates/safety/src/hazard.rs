@@ -1,0 +1,367 @@
+//! Hazard analysis with a severity × likelihood risk matrix.
+//!
+//! The front end of the assurance workflow: enumerate hazards, rate
+//! them, attach mitigations, and check that every unacceptable risk is
+//! mitigated down to an acceptable residual level. The PCA hazard log
+//! shipped in [`pca_hazard_log`] seeds the experiments' assurance case.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Harm severity (IEC 62304-flavoured).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Inconvenience, no injury.
+    Negligible,
+    /// Minor, reversible injury.
+    Minor,
+    /// Serious, possibly irreversible injury.
+    Serious,
+    /// Death or permanent disability.
+    Catastrophic,
+}
+
+/// Likelihood of occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Likelihood {
+    /// Not expected in the system's lifetime.
+    Improbable,
+    /// May occur a few times in the lifetime.
+    Remote,
+    /// Expected to occur occasionally.
+    Occasional,
+    /// Expected to occur repeatedly.
+    Frequent,
+}
+
+/// Risk acceptability classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RiskClass {
+    /// Broadly acceptable without further action.
+    Acceptable,
+    /// Tolerable if reduced as low as reasonably practicable.
+    Alarp,
+    /// Must be mitigated before deployment.
+    Unacceptable,
+}
+
+impl fmt::Display for RiskClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RiskClass::Acceptable => "acceptable",
+            RiskClass::Alarp => "ALARP",
+            RiskClass::Unacceptable => "UNACCEPTABLE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The risk matrix: classifies a (severity, likelihood) pair.
+pub fn classify(severity: Severity, likelihood: Likelihood) -> RiskClass {
+    use Likelihood as L;
+    use Severity as S;
+    let s = match severity {
+        S::Negligible => 0,
+        S::Minor => 1,
+        S::Serious => 2,
+        S::Catastrophic => 3,
+    };
+    let l = match likelihood {
+        L::Improbable => 0,
+        L::Remote => 1,
+        L::Occasional => 2,
+        L::Frequent => 3,
+    };
+    match s + l {
+        0..=1 => RiskClass::Acceptable,
+        2..=3 => RiskClass::Alarp,
+        _ => RiskClass::Unacceptable,
+    }
+}
+
+/// A mitigation applied to a hazard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mitigation {
+    /// What the mitigation is.
+    pub description: String,
+    /// Residual likelihood after the mitigation.
+    pub residual_likelihood: Likelihood,
+    /// Pointer to evidence (GSN solution label, test id, …).
+    pub evidence: String,
+}
+
+/// One hazard log entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hazard {
+    /// Stable identifier, e.g. `"H1"`.
+    pub id: String,
+    /// What can go wrong.
+    pub description: String,
+    /// Causal chain / source.
+    pub cause: String,
+    /// Harm severity (unchanged by mitigations).
+    pub severity: Severity,
+    /// Likelihood before mitigation.
+    pub initial_likelihood: Likelihood,
+    /// Mitigations applied.
+    pub mitigations: Vec<Mitigation>,
+}
+
+impl Hazard {
+    /// Risk class before mitigation.
+    pub fn initial_risk(&self) -> RiskClass {
+        classify(self.severity, self.initial_likelihood)
+    }
+
+    /// Likelihood after the *best* mitigation (mitigations are
+    /// alternatives layered in depth; the lowest residual governs).
+    pub fn residual_likelihood(&self) -> Likelihood {
+        self.mitigations
+            .iter()
+            .map(|m| m.residual_likelihood)
+            .min()
+            .unwrap_or(self.initial_likelihood)
+    }
+
+    /// Risk class after mitigation.
+    pub fn residual_risk(&self) -> RiskClass {
+        classify(self.severity, self.residual_likelihood())
+    }
+}
+
+/// A hazard log with acceptance checking.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HazardLog {
+    hazards: Vec<Hazard>,
+}
+
+impl HazardLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a hazard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id duplicates an existing entry.
+    pub fn add(&mut self, hazard: Hazard) {
+        assert!(
+            !self.hazards.iter().any(|h| h.id == hazard.id),
+            "duplicate hazard id {}",
+            hazard.id
+        );
+        self.hazards.push(hazard);
+    }
+
+    /// All hazards.
+    pub fn hazards(&self) -> &[Hazard] {
+        &self.hazards
+    }
+
+    /// Looks a hazard up by id.
+    pub fn get(&self, id: &str) -> Option<&Hazard> {
+        self.hazards.iter().find(|h| h.id == id)
+    }
+
+    /// Hazards whose residual risk is still unacceptable.
+    pub fn unmitigated(&self) -> Vec<&Hazard> {
+        self.hazards.iter().filter(|h| h.residual_risk() == RiskClass::Unacceptable).collect()
+    }
+
+    /// Whether the system is releasable: no hazard remains unacceptable.
+    pub fn is_acceptable(&self) -> bool {
+        self.unmitigated().is_empty()
+    }
+
+    /// Renders the log as a fixed-width table.
+    pub fn render_table(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<5} {:<52} {:>13} {:>13} {:>14}",
+            "id", "hazard", "severity", "initial", "residual"
+        );
+        for h in &self.hazards {
+            let _ = writeln!(
+                out,
+                "{:<5} {:<52} {:>13} {:>13} {:>14}",
+                h.id,
+                truncate(&h.description, 52),
+                format!("{:?}", h.severity),
+                h.initial_risk().to_string(),
+                h.residual_risk().to_string()
+            );
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_owned()
+    } else {
+        format!("{}…", &s[..n.saturating_sub(1)])
+    }
+}
+
+/// The PCA closed-loop hazard log used by the experiments and the
+/// shipped assurance case.
+pub fn pca_hazard_log() -> HazardLog {
+    let mut log = HazardLog::new();
+    log.add(Hazard {
+        id: "H1".into(),
+        description: "Opioid overdose from dose stacking (PCA-by-proxy or misprogrammed basal)".into(),
+        cause: "Demands issued while patient already sedated; pump cannot observe the patient".into(),
+        severity: Severity::Catastrophic,
+        initial_likelihood: Likelihood::Occasional,
+        mitigations: vec![
+            Mitigation {
+                description: "Closed-loop safety interlock stops pump on respiratory depression".into(),
+                residual_likelihood: Likelihood::Improbable,
+                evidence: "E1 cohort study; E5 model-checking (CommandReliable, TicketLossy)".into(),
+            },
+            Mitigation {
+                description: "Hourly dose hard limit in pump firmware".into(),
+                residual_likelihood: Likelihood::Remote,
+                evidence: "pump::tests::hourly_limit_denies_and_caps".into(),
+            },
+        ],
+    });
+    log.add(Hazard {
+        id: "H2".into(),
+        description: "Interlock defeated by network failure (stop command lost)".into(),
+        cause: "Packet loss/partition between supervisor and pump".into(),
+        severity: Severity::Catastrophic,
+        initial_likelihood: Likelihood::Occasional,
+        mitigations: vec![Mitigation {
+            description: "Ticket-based permission: pump self-stops when grants cease".into(),
+            residual_likelihood: Likelihood::Improbable,
+            evidence: "E4 QoS sweep; E5 TicketLossy proof".into(),
+        }],
+    });
+    log.add(Hazard {
+        id: "H3".into(),
+        description: "Missed deterioration due to alarm fatigue (true alarms ignored)".into(),
+        cause: "High false-alarm rate of single-threshold monitoring".into(),
+        severity: Severity::Serious,
+        initial_likelihood: Likelihood::Frequent,
+        mitigations: vec![Mitigation {
+            description: "Multi-parameter fusion smart alarm with artifact rejection".into(),
+            residual_likelihood: Likelihood::Remote,
+            evidence: "E2 ward study".into(),
+        }],
+    });
+    log.add(Hazard {
+        id: "H4".into(),
+        description: "Analgesia withheld (interlock false positive stops a safe pump)".into(),
+        cause: "Sensor artifact misread as respiratory depression".into(),
+        severity: Severity::Minor,
+        initial_likelihood: Likelihood::Frequent,
+        mitigations: vec![Mitigation {
+            description: "Fusion alarm requires corroboration across SpO2/RR/EtCO2".into(),
+            residual_likelihood: Likelihood::Occasional,
+            evidence: "E1 analgesia-availability metric".into(),
+        }],
+    });
+    log.add(Hazard {
+        id: "H5".into(),
+        description: "Patient harmed during imaging (breath-hold overrun or blurred retake)".into(),
+        cause: "Manual x-ray/ventilator coordination timing errors".into(),
+        severity: Severity::Serious,
+        initial_likelihood: Likelihood::Occasional,
+        mitigations: vec![Mitigation {
+            description: "ICE-coordinated pause/expose/resume with device-enforced max pause".into(),
+            residual_likelihood: Likelihood::Improbable,
+            evidence: "E3 coordination study; ventilator auto-resume unit tests".into(),
+        }],
+    });
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_corners() {
+        assert_eq!(classify(Severity::Negligible, Likelihood::Improbable), RiskClass::Acceptable);
+        assert_eq!(classify(Severity::Catastrophic, Likelihood::Frequent), RiskClass::Unacceptable);
+        assert_eq!(classify(Severity::Minor, Likelihood::Remote), RiskClass::Alarp);
+        assert_eq!(classify(Severity::Catastrophic, Likelihood::Improbable), RiskClass::Alarp);
+    }
+
+    #[test]
+    fn matrix_is_monotone() {
+        use Likelihood::*;
+        use Severity::*;
+        let sevs = [Negligible, Minor, Serious, Catastrophic];
+        let liks = [Improbable, Remote, Occasional, Frequent];
+        for w in sevs.windows(2) {
+            for &l in &liks {
+                assert!(classify(w[0], l) <= classify(w[1], l));
+            }
+        }
+        for w in liks.windows(2) {
+            for &s in &sevs {
+                assert!(classify(s, w[0]) <= classify(s, w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn residual_risk_takes_best_mitigation() {
+        let log = pca_hazard_log();
+        let h1 = log.get("H1").unwrap();
+        assert_eq!(h1.initial_risk(), RiskClass::Unacceptable);
+        assert_eq!(h1.residual_likelihood(), Likelihood::Improbable);
+        assert_eq!(h1.residual_risk(), RiskClass::Alarp);
+    }
+
+    #[test]
+    fn unmitigated_hazard_blocks_release() {
+        let mut log = HazardLog::new();
+        log.add(Hazard {
+            id: "HX".into(),
+            description: "raw".into(),
+            cause: "c".into(),
+            severity: Severity::Catastrophic,
+            initial_likelihood: Likelihood::Frequent,
+            mitigations: vec![],
+        });
+        assert!(!log.is_acceptable());
+        assert_eq!(log.unmitigated().len(), 1);
+    }
+
+    #[test]
+    fn shipped_pca_log_is_releasable() {
+        let log = pca_hazard_log();
+        assert!(log.is_acceptable(), "{:?}", log.unmitigated());
+        assert_eq!(log.hazards().len(), 5);
+    }
+
+    #[test]
+    fn table_renders_every_hazard() {
+        let log = pca_hazard_log();
+        let table = log.render_table();
+        for h in log.hazards() {
+            assert!(table.contains(&h.id));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate hazard id")]
+    fn duplicate_ids_rejected() {
+        let mut log = pca_hazard_log();
+        log.add(Hazard {
+            id: "H1".into(),
+            description: "dup".into(),
+            cause: "c".into(),
+            severity: Severity::Minor,
+            initial_likelihood: Likelihood::Remote,
+            mitigations: vec![],
+        });
+    }
+}

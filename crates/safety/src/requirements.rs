@@ -1,0 +1,340 @@
+//! Safety-requirements traceability.
+//!
+//! Regulators audit the *chain*: every hazard must derive requirements,
+//! every requirement must cite verification evidence, and nothing may
+//! dangle. [`TraceabilityMatrix`] holds that chain and checks its
+//! completeness mechanically; [`pca_requirements`] ships the PCA
+//! closed-loop system's requirement set, cross-linked to the hazard log
+//! in [`crate::hazard::pca_hazard_log`] and to the experiments and
+//! tests in this repository as evidence.
+
+use crate::hazard::{HazardLog, RiskClass};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How a requirement is verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VerificationMethod {
+    /// Exhaustive model checking.
+    ModelChecking,
+    /// Simulation-based experiment.
+    Experiment,
+    /// Unit / property test.
+    Test,
+    /// Design inspection / analysis.
+    Analysis,
+}
+
+impl fmt::Display for VerificationMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VerificationMethod::ModelChecking => "model checking",
+            VerificationMethod::Experiment => "experiment",
+            VerificationMethod::Test => "test",
+            VerificationMethod::Analysis => "analysis",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One item of verification evidence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Evidence {
+    /// Verification method.
+    pub method: VerificationMethod,
+    /// Pointer (experiment id, test path, model variant).
+    pub reference: String,
+}
+
+/// One safety requirement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SafetyRequirement {
+    /// Stable id, e.g. `"SR1"`.
+    pub id: String,
+    /// Normative statement ("shall").
+    pub text: String,
+    /// Hazards this requirement mitigates (ids into the hazard log).
+    pub derived_from: Vec<String>,
+    /// Evidence of satisfaction.
+    pub verified_by: Vec<Evidence>,
+}
+
+/// A traceability problem.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceIssue {
+    /// A requirement cites a hazard that is not in the log.
+    UnknownHazard {
+        /// Requirement id.
+        requirement: String,
+        /// The missing hazard id.
+        hazard: String,
+    },
+    /// A requirement has no evidence at all.
+    Unverified {
+        /// Requirement id.
+        requirement: String,
+    },
+    /// A hazard with unacceptable or ALARP initial risk has no
+    /// requirement addressing it.
+    UncoveredHazard {
+        /// Hazard id.
+        hazard: String,
+    },
+    /// Two requirements share an id.
+    DuplicateId {
+        /// The duplicated id.
+        id: String,
+    },
+}
+
+impl fmt::Display for TraceIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIssue::UnknownHazard { requirement, hazard } => {
+                write!(f, "{requirement} cites unknown hazard {hazard}")
+            }
+            TraceIssue::Unverified { requirement } => {
+                write!(f, "{requirement} has no verification evidence")
+            }
+            TraceIssue::UncoveredHazard { hazard } => {
+                write!(f, "hazard {hazard} has no requirement addressing it")
+            }
+            TraceIssue::DuplicateId { id } => write!(f, "duplicate requirement id {id}"),
+        }
+    }
+}
+
+/// Requirements + hazard log, checked together.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceabilityMatrix {
+    requirements: Vec<SafetyRequirement>,
+}
+
+impl TraceabilityMatrix {
+    /// Creates a matrix from requirements.
+    pub fn new(requirements: Vec<SafetyRequirement>) -> Self {
+        TraceabilityMatrix { requirements }
+    }
+
+    /// The requirements.
+    pub fn requirements(&self) -> &[SafetyRequirement] {
+        &self.requirements
+    }
+
+    /// Looks a requirement up by id.
+    pub fn get(&self, id: &str) -> Option<&SafetyRequirement> {
+        self.requirements.iter().find(|r| r.id == id)
+    }
+
+    /// Requirements that mitigate a given hazard.
+    pub fn for_hazard(&self, hazard_id: &str) -> Vec<&SafetyRequirement> {
+        self.requirements
+            .iter()
+            .filter(|r| r.derived_from.iter().any(|h| h == hazard_id))
+            .collect()
+    }
+
+    /// Full traceability check against a hazard log.
+    pub fn check(&self, hazards: &HazardLog) -> Vec<TraceIssue> {
+        let mut issues = Vec::new();
+        let mut seen = BTreeSet::new();
+        for r in &self.requirements {
+            if !seen.insert(r.id.clone()) {
+                issues.push(TraceIssue::DuplicateId { id: r.id.clone() });
+            }
+            for h in &r.derived_from {
+                if hazards.get(h).is_none() {
+                    issues.push(TraceIssue::UnknownHazard {
+                        requirement: r.id.clone(),
+                        hazard: h.clone(),
+                    });
+                }
+            }
+            if r.verified_by.is_empty() {
+                issues.push(TraceIssue::Unverified { requirement: r.id.clone() });
+            }
+        }
+        for h in hazards.hazards() {
+            let needs_coverage = h.initial_risk() >= RiskClass::Alarp;
+            if needs_coverage && self.for_hazard(&h.id).is_empty() {
+                issues.push(TraceIssue::UncoveredHazard { hazard: h.id.clone() });
+            }
+        }
+        issues
+    }
+
+    /// Renders the matrix as a table.
+    pub fn render_table(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<5} {:<58} {:<10} evidence", "id", "requirement", "hazards");
+        for r in &self.requirements {
+            let hz = r.derived_from.join(",");
+            let ev = r
+                .verified_by
+                .iter()
+                .map(|e| format!("{} ({})", e.reference, e.method))
+                .collect::<Vec<_>>()
+                .join("; ");
+            let text = if r.text.len() > 58 {
+                format!("{}…", &r.text[..57])
+            } else {
+                r.text.clone()
+            };
+            let _ = writeln!(out, "{:<5} {:<58} {:<10} {}", r.id, text, hz, ev);
+        }
+        out
+    }
+}
+
+fn ev(method: VerificationMethod, reference: &str) -> Evidence {
+    Evidence { method, reference: reference.to_owned() }
+}
+
+/// The PCA closed-loop system's safety requirements, cross-linked to
+/// the shipped hazard log and this repository's evidence.
+pub fn pca_requirements() -> TraceabilityMatrix {
+    TraceabilityMatrix::new(vec![
+        SafetyRequirement {
+            id: "SR1".into(),
+            text: "The pump shall cease delivery within 30 s of detected respiratory depression".into(),
+            derived_from: vec!["H1".into()],
+            verified_by: vec![
+                ev(VerificationMethod::ModelChecking, "PcaModelVariant::CommandReliable"),
+                ev(VerificationMethod::Experiment, "E1"),
+                ev(VerificationMethod::Test, "tests/end_to_end.rs::command_and_ticket_strategies_both_respond_to_danger"),
+            ],
+        },
+        SafetyRequirement {
+            id: "SR2".into(),
+            text: "Loss of monitoring data or connectivity shall halt delivery within 30 s".into(),
+            derived_from: vec!["H1".into(), "H2".into()],
+            verified_by: vec![
+                ev(VerificationMethod::ModelChecking, "PcaModelVariant::TicketLossy"),
+                ev(VerificationMethod::Experiment, "E4, E8"),
+                ev(VerificationMethod::Test, "tests/end_to_end.rs::monitor_crash_stops_therapy_but_keeps_patient_safe"),
+            ],
+        },
+        SafetyRequirement {
+            id: "SR3".into(),
+            text: "The pump shall enforce per-bolus lockout and a sliding-hour dose cap independent of the network".into(),
+            derived_from: vec!["H1".into()],
+            verified_by: vec![
+                ev(VerificationMethod::Test, "tests/properties.rs::pump_hourly_cap_is_inviolable"),
+                ev(VerificationMethod::Test, "pump::tests::lockout_blocks_early_redemand"),
+            ],
+        },
+        SafetyRequirement {
+            id: "SR4".into(),
+            text: "Clinical alarms shall corroborate across parameters to bound false alarms below 1/patient-hour".into(),
+            derived_from: vec!["H3".into(), "H4".into()],
+            verified_by: vec![ev(VerificationMethod::Experiment, "E2")],
+        },
+        SafetyRequirement {
+            id: "SR5".into(),
+            text: "A frozen (stuck-value) vital stream shall be treated as untrustworthy within 45 s".into(),
+            derived_from: vec!["H1".into()],
+            verified_by: vec![
+                ev(VerificationMethod::Experiment, "E8 (stuck-value + plausibility arm)"),
+                ev(VerificationMethod::Test, "interlock::tests::plausibility_check_catches_stuck_sensor"),
+            ],
+        },
+        SafetyRequirement {
+            id: "SR6".into(),
+            text: "Ventilation pauses shall be bounded by the device and auto-resume on budget exhaustion".into(),
+            derived_from: vec!["H5".into()],
+            verified_by: vec![
+                ev(VerificationMethod::Test, "ventilator::tests::pause_freezes_and_auto_resumes"),
+                ev(VerificationMethod::Experiment, "E3"),
+            ],
+        },
+        SafetyRequirement {
+            id: "SR7".into(),
+            text: "Pump programmes shall be validated against the drug library; hard-limit violations shall not run".into(),
+            derived_from: vec!["H1".into()],
+            verified_by: vec![ev(VerificationMethod::Test, "ders::tests::unit_mixup_hits_hard_limit")],
+        },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hazard::pca_hazard_log;
+
+    #[test]
+    fn shipped_matrix_is_complete() {
+        let issues = pca_requirements().check(&pca_hazard_log());
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn uncovered_hazard_is_flagged() {
+        let m = TraceabilityMatrix::new(vec![]);
+        let issues = m.check(&pca_hazard_log());
+        assert!(issues.iter().any(|i| matches!(i, TraceIssue::UncoveredHazard { hazard } if hazard == "H1")));
+    }
+
+    #[test]
+    fn unknown_hazard_is_flagged() {
+        let m = TraceabilityMatrix::new(vec![SafetyRequirement {
+            id: "SRX".into(),
+            text: "x".into(),
+            derived_from: vec!["H99".into()],
+            verified_by: vec![ev(VerificationMethod::Analysis, "none")],
+        }]);
+        let issues = m.check(&pca_hazard_log());
+        assert!(issues.iter().any(|i| matches!(i, TraceIssue::UnknownHazard { hazard, .. } if hazard == "H99")));
+    }
+
+    #[test]
+    fn unverified_requirement_is_flagged() {
+        let m = TraceabilityMatrix::new(vec![SafetyRequirement {
+            id: "SRX".into(),
+            text: "x".into(),
+            derived_from: vec!["H1".into()],
+            verified_by: vec![],
+        }]);
+        let issues = m.check(&pca_hazard_log());
+        assert!(issues.iter().any(|i| matches!(i, TraceIssue::Unverified { requirement } if requirement == "SRX")));
+    }
+
+    #[test]
+    fn duplicate_ids_flagged() {
+        let r = SafetyRequirement {
+            id: "SR1".into(),
+            text: "x".into(),
+            derived_from: vec!["H1".into()],
+            verified_by: vec![ev(VerificationMethod::Test, "t")],
+        };
+        let m = TraceabilityMatrix::new(vec![r.clone(), r]);
+        let issues = m.check(&pca_hazard_log());
+        assert!(issues.iter().any(|i| matches!(i, TraceIssue::DuplicateId { id } if id == "SR1")));
+    }
+
+    #[test]
+    fn lookup_and_filtering() {
+        let m = pca_requirements();
+        assert!(m.get("SR1").is_some());
+        assert!(m.get("SR99").is_none());
+        let h1 = m.for_hazard("H1");
+        assert!(h1.len() >= 3, "H1 is the big hazard; got {}", h1.len());
+        assert!(m.for_hazard("H5").iter().any(|r| r.id == "SR6"));
+    }
+
+    #[test]
+    fn table_lists_all_requirements() {
+        let m = pca_requirements();
+        let table = m.render_table();
+        for r in m.requirements() {
+            assert!(table.contains(&r.id));
+        }
+    }
+
+    #[test]
+    fn issue_display_is_informative() {
+        let i = TraceIssue::UncoveredHazard { hazard: "H9".into() };
+        assert!(i.to_string().contains("H9"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the model checker on randomly generated
+//! timed-automata networks.
+
+use mcps_safety::automaton::{Action, Automaton, Guard, LocId};
+use mcps_safety::checker::{CheckOutcome, Network};
+use proptest::prelude::*;
+
+/// Strategy: a random automaton with `n_locs` locations, one clock,
+/// and random guarded internal edges (optionally one send/recv pair of
+/// channels shared across the network).
+fn arb_automaton(
+    name: String,
+    n_locs: usize,
+    edges: Vec<(usize, usize, u32, bool)>,
+    invariant_bound: Option<u32>,
+) -> Automaton {
+    let mut b = Automaton::builder(&name);
+    let x = b.clock("x");
+    let locs: Vec<LocId> = (0..n_locs).map(|i| b.location(&format!("L{i}"))).collect();
+    if let Some(bound) = invariant_bound {
+        b.invariant(locs[0], Guard::Le(x, bound));
+    }
+    for (i, (from, to, bound, reset)) in edges.into_iter().enumerate() {
+        let from = locs[from % n_locs];
+        let to = locs[to % n_locs];
+        let resets = if reset { vec![x] } else { vec![] };
+        b.edge(&format!("e{i}"), from, to, Guard::Ge(x, bound % 5), Action::Internal, resets);
+    }
+    b.build()
+}
+
+fn arb_network() -> impl Strategy<Value = Network> {
+    let automaton = (
+        2usize..5,
+        proptest::collection::vec((0usize..5, 0usize..5, 0u32..5, any::<bool>()), 0..6),
+        proptest::option::of(1u32..6),
+    );
+    proptest::collection::vec(automaton, 1..3).prop_map(|specs| {
+        let automata = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (n_locs, edges, inv))| {
+                arb_automaton(format!("a{i}"), n_locs, edges, inv)
+            })
+            .collect();
+        Network::new(automata)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `false` is never reachable: the checker always returns Holds
+    /// (or hits its budget) and never fabricates a violation.
+    #[test]
+    fn no_false_violations(net in arb_network()) {
+        let out = net.check_safety(|_| false, 200_000);
+        prop_assert!(!matches!(out, CheckOutcome::Violated { .. }), "{out:?}");
+    }
+
+    /// The checker is deterministic: two runs agree exactly.
+    #[test]
+    fn checker_is_deterministic(net in arb_network()) {
+        let a = net.check_safety(|v| v.in_location("a0", "L1"), 200_000);
+        let b = net.check_safety(|v| v.in_location("a0", "L1"), 200_000);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every counterexample the checker returns replays as a genuine
+    /// behaviour of the network, and its final state is actually bad.
+    #[test]
+    fn counterexamples_replay(net in arb_network()) {
+        let bad = |v: &mcps_safety::checker::StateView<'_>| v.in_location("a0", "L1");
+        if let CheckOutcome::Violated { trace, .. } = net.check_safety(bad, 200_000) {
+            let end = net.replay(&trace).expect("trace must be executable");
+            prop_assert!(bad(&net.view(&end)), "replayed end state is not bad");
+        }
+    }
+
+    /// Reachability of a location is monotone in the exploration
+    /// budget: if a violation is found with a small budget, it is also
+    /// found with a larger one (and with the same shortest length).
+    #[test]
+    fn violations_stable_under_bigger_budget(net in arb_network()) {
+        let bad = |v: &mcps_safety::checker::StateView<'_>| v.in_location("a0", "L1");
+        if let CheckOutcome::Violated { trace, .. } = net.check_safety(bad, 50_000) {
+            match net.check_safety(bad, 500_000) {
+                CheckOutcome::Violated { trace: bigger, .. } => {
+                    prop_assert_eq!(trace.steps.len(), bigger.steps.len());
+                }
+                other => prop_assert!(false, "lost violation: {:?}", other),
+            }
+        }
+    }
+
+    /// Bounded response with an enormous deadline follows from plain
+    /// unreachability: if Q's negation is unreachable-from-P never
+    /// flagged at deadline 0, it can't be flagged at a huge deadline...
+    /// concretely: deadline monotonicity — a property that holds at a
+    /// small deadline also holds at any larger one.
+    #[test]
+    fn bounded_response_monotone_in_deadline(net in arb_network(), d in 0u32..6) {
+        let p = |v: &mcps_safety::checker::StateView<'_>| v.in_location("a0", "L0");
+        let q = |v: &mcps_safety::checker::StateView<'_>| v.in_location("a0", "L1");
+        let small = net.check_bounded_response(p, q, d, 300_000);
+        if small.holds() {
+            let big = net.check_bounded_response(p, q, d + 3, 300_000);
+            prop_assert!(
+                !matches!(big, CheckOutcome::Violated { .. }),
+                "holds at {d} but violated at {}: {:?}",
+                d + 3,
+                big
+            );
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! The discrete-event simulation executive.
+//!
+//! [`Simulation`] owns a set of [`Actor`]s, a time-ordered event queue,
+//! a [`TraceLog`] and a family of deterministic RNG streams. Events with
+//! equal timestamps are delivered in scheduling order (FIFO), which —
+//! together with seeded RNG streams — makes every run bit-reproducible.
+
+use crate::actor::{Actor, ActorId};
+use crate::rng::{RngFactory, SimRng};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceLog;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    target: ActorId,
+    msg: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    // Reversed so the BinaryHeap pops the *earliest* event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The capabilities an [`Actor`] may use while handling a message.
+///
+/// A `Context` is handed to [`Actor::handle`] and borrows the mutable
+/// pieces of the running [`Simulation`]: the event queue, the trace log
+/// and the actor's own RNG stream.
+pub struct Context<'a, M> {
+    now: SimTime,
+    self_id: ActorId,
+    queue: &'a mut BinaryHeap<Scheduled<M>>,
+    seq: &'a mut u64,
+    trace: &'a mut TraceLog,
+    rng: &'a mut SimRng,
+    stop: &'a mut bool,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the actor currently handling a message.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// The handling actor's private deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Delivers `msg` to `target` at the current time, after all events
+    /// already queued for this instant.
+    pub fn send(&mut self, target: ActorId, msg: M) {
+        self.schedule_at(self.now, target, msg);
+    }
+
+    /// Delivers `msg` to `target` after `delay`.
+    pub fn schedule(&mut self, delay: SimDuration, target: ActorId, msg: M) {
+        self.schedule_at(self.now.saturating_add(delay), target, msg);
+    }
+
+    /// Delivers `msg` to the handling actor itself after `delay`.
+    pub fn schedule_self(&mut self, delay: SimDuration, msg: M) {
+        self.schedule(delay, self.self_id, msg);
+    }
+
+    /// Delivers `msg` to `target` at absolute time `at` (clamped to the
+    /// present if `at` is in the past).
+    pub fn schedule_at(&mut self, at: SimTime, target: ActorId, msg: M) {
+        let at = at.max(self.now);
+        let seq = *self.seq;
+        *self.seq += 1;
+        self.queue.push(Scheduled { at, seq, target, msg });
+    }
+
+    /// Appends a record to the simulation trace, attributed to this
+    /// actor at the current time.
+    pub fn trace(&mut self, category: &str, message: impl Into<String>) {
+        self.trace.push(self.now, self.self_id, category, message);
+    }
+
+    /// Requests that the simulation stop after the current event.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// A deterministic discrete-event simulation over message type `M`.
+///
+/// See the [`Actor`] docs for a complete usage example.
+pub struct Simulation<M> {
+    actors: Vec<Option<Box<dyn Actor<M>>>>,
+    names: Vec<String>,
+    rngs: Vec<SimRng>,
+    queue: BinaryHeap<Scheduled<M>>,
+    seq: u64,
+    now: SimTime,
+    trace: TraceLog,
+    rng_factory: RngFactory,
+    stop: bool,
+    events_processed: u64,
+}
+
+impl<M> std::fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("actors", &self.actors.len())
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+impl<M: 'static> Simulation<M> {
+    /// Creates an empty simulation whose randomness derives from
+    /// `master_seed`.
+    pub fn new(master_seed: u64) -> Self {
+        Simulation {
+            actors: Vec::new(),
+            names: Vec::new(),
+            rngs: Vec::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            trace: TraceLog::default(),
+            rng_factory: RngFactory::new(master_seed),
+            stop: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Registers an actor and returns its id. The actor's RNG stream is
+    /// derived from the master seed and `name`, so renaming an actor —
+    /// not reordering registration — is what changes its randomness.
+    pub fn add_actor(&mut self, name: &str, actor: impl Actor<M>) -> ActorId {
+        let id = ActorId::from_index(
+            u32::try_from(self.actors.len()).expect("more than u32::MAX actors"),
+        );
+        self.actors.push(Some(Box::new(actor)));
+        self.names.push(name.to_owned());
+        self.rngs.push(self.rng_factory.stream(name));
+        id
+    }
+
+    /// The registered name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this simulation.
+    pub fn actor_name(&self, id: ActorId) -> &str {
+        &self.names[id.index() as usize]
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Immutable access to an actor's concrete state.
+    ///
+    /// Returns `None` if the id is unknown, the actor is currently being
+    /// dispatched, or the concrete type is not `T`.
+    pub fn actor_as<T: 'static>(&self, id: ActorId) -> Option<&T> {
+        self.actors
+            .get(id.index() as usize)?
+            .as_ref()?
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutable access to an actor's concrete state (see [`Self::actor_as`]).
+    pub fn actor_as_mut<T: 'static>(&mut self, id: ActorId) -> Option<&mut T> {
+        self.actors
+            .get_mut(id.index() as usize)?
+            .as_mut()?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// Schedules `msg` for `target` at absolute time `at` (clamped to
+    /// the present).
+    pub fn schedule(&mut self, at: SimTime, target: ActorId, msg: M) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, target, msg });
+    }
+
+    /// Schedules `msg` for `target` after `delay` from now.
+    pub fn schedule_after(&mut self, delay: SimDuration, target: ActorId, msg: M) {
+        self.schedule(self.now.saturating_add(delay), target, msg);
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of events still queued.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The trace log.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Mutable trace log (e.g. to disable recording for benchmarks).
+    pub fn trace_mut(&mut self) -> &mut TraceLog {
+        &mut self.trace
+    }
+
+    /// The RNG factory, for deriving extra streams outside the actors.
+    pub fn rng_factory(&self) -> RngFactory {
+        self.rng_factory
+    }
+
+    /// Whether an actor has requested a stop.
+    pub fn is_stopped(&self) -> bool {
+        self.stop
+    }
+
+    /// Dispatches the next event, if any. Returns `false` when the queue
+    /// is empty or a stop was requested.
+    pub fn step(&mut self) -> bool {
+        if self.stop {
+            return false;
+        }
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "event queue went backwards");
+        self.now = ev.at;
+        let idx = ev.target.index() as usize;
+        // Take the actor out of its slot so Context can borrow the rest
+        // of the simulation mutably during dispatch.
+        let mut actor = match self.actors.get_mut(idx).and_then(Option::take) {
+            Some(a) => a,
+            // Message to an unknown/busy actor: dropped silently. This
+            // cannot happen through the public API (ids are only issued
+            // by add_actor, and dispatch is not reentrant).
+            None => return true,
+        };
+        let mut ctx = Context {
+            now: self.now,
+            self_id: ev.target,
+            queue: &mut self.queue,
+            seq: &mut self.seq,
+            trace: &mut self.trace,
+            rng: &mut self.rngs[idx],
+            stop: &mut self.stop,
+        };
+        actor.handle(ev.msg, &mut ctx);
+        self.actors[idx] = Some(actor);
+        self.events_processed += 1;
+        true
+    }
+
+    /// Runs until the queue drains or a stop is requested. Returns the
+    /// number of events processed by this call.
+    pub fn run(&mut self) -> u64 {
+        let before = self.events_processed;
+        while self.step() {}
+        self.events_processed - before
+    }
+
+    /// Runs until `deadline` (inclusive), the queue drains, or a stop is
+    /// requested. On return, `now()` is exactly `deadline` unless the
+    /// run stopped early. Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let before = self.events_processed;
+        while !self.stop {
+            match self.queue.peek() {
+                Some(ev) if ev.at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if !self.stop && self.now < deadline {
+            self.now = deadline;
+        }
+        self.events_processed - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Msg {
+        Ping,
+        Pong,
+        Tick,
+    }
+
+    struct Pinger {
+        peer: Option<ActorId>,
+        sent: u32,
+        limit: u32,
+    }
+
+    impl Actor<Msg> for Pinger {
+        fn handle(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
+            match msg {
+                Msg::Pong | Msg::Tick => {
+                    if self.sent < self.limit {
+                        self.sent += 1;
+                        ctx.schedule(SimDuration::from_millis(10), self.peer.unwrap(), Msg::Ping);
+                    } else {
+                        ctx.stop();
+                    }
+                }
+                Msg::Ping => {}
+            }
+        }
+    }
+
+    struct Ponger {
+        received: u32,
+    }
+
+    impl Actor<Msg> for Ponger {
+        fn handle(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
+            if msg == Msg::Ping {
+                self.received += 1;
+                ctx.trace("pong", format!("ping #{}", self.received));
+                ctx.send(ActorId::from_index(0), Msg::Pong);
+            }
+        }
+    }
+
+    fn build() -> (Simulation<Msg>, ActorId, ActorId) {
+        let mut sim = Simulation::new(1);
+        let pinger = sim.add_actor("pinger", Pinger { peer: None, sent: 0, limit: 5 });
+        let ponger = sim.add_actor("ponger", Ponger { received: 0 });
+        sim.actor_as_mut::<Pinger>(pinger).unwrap().peer = Some(ponger);
+        sim.schedule(SimTime::ZERO, pinger, Msg::Tick);
+        (sim, pinger, ponger)
+    }
+
+    #[test]
+    fn ping_pong_runs_to_completion() {
+        let (mut sim, pinger, ponger) = build();
+        sim.run();
+        assert_eq!(sim.actor_as::<Pinger>(pinger).unwrap().sent, 5);
+        assert_eq!(sim.actor_as::<Ponger>(ponger).unwrap().received, 5);
+        assert!(sim.is_stopped());
+        // 5 round trips of 10 ms each.
+        assert_eq!(sim.now(), SimTime::from_millis(50));
+        assert_eq!(sim.trace().by_category("pong").count(), 5);
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let (mut sim, _, ponger) = build();
+        sim.run_until(SimTime::from_millis(25));
+        assert_eq!(sim.actor_as::<Ponger>(ponger).unwrap().received, 2);
+        assert_eq!(sim.now(), SimTime::from_millis(25));
+        // Remaining events still pending.
+        assert!(sim.pending_events() > 0);
+        sim.run();
+        assert_eq!(sim.actor_as::<Ponger>(ponger).unwrap().received, 5);
+    }
+
+    #[test]
+    fn fifo_order_at_equal_timestamps() {
+        struct Recorder {
+            seen: Vec<u32>,
+        }
+        impl Actor<u32> for Recorder {
+            fn handle(&mut self, msg: u32, _ctx: &mut Context<'_, u32>) {
+                self.seen.push(msg);
+            }
+        }
+        let mut sim = Simulation::new(0);
+        let r = sim.add_actor("rec", Recorder { seen: vec![] });
+        for i in 0..10 {
+            sim.schedule(SimTime::from_secs(1), r, i);
+        }
+        sim.run();
+        assert_eq!(sim.actor_as::<Recorder>(r).unwrap().seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let trace_a: Vec<String> = {
+            let (mut sim, _, _) = build();
+            sim.run();
+            sim.trace().records().map(|r| r.to_string()).collect()
+        };
+        let trace_b: Vec<String> = {
+            let (mut sim, _, _) = build();
+            sim.run();
+            sim.trace().records().map(|r| r.to_string()).collect()
+        };
+        assert_eq!(trace_a, trace_b);
+    }
+
+    #[test]
+    fn rng_streams_depend_on_name_not_order() {
+        use rand::Rng;
+        struct Roller {
+            value: u64,
+        }
+        impl Actor<()> for Roller {
+            fn handle(&mut self, _: (), ctx: &mut Context<'_, ()>) {
+                self.value = ctx.rng().gen();
+            }
+        }
+
+        let roll = |names: &[&str], pick: &str| -> u64 {
+            let mut sim = Simulation::new(7);
+            let mut picked = None;
+            for n in names {
+                let id = sim.add_actor(n, Roller { value: 0 });
+                if n == &pick {
+                    picked = Some(id);
+                }
+            }
+            let id = picked.unwrap();
+            sim.schedule(SimTime::ZERO, id, ());
+            sim.run();
+            sim.actor_as::<Roller>(id).unwrap().value
+        };
+
+        let a = roll(&["x", "y"], "y");
+        let b = roll(&["y", "x"], "y"); // registered first this time
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn schedule_in_past_clamps_to_now() {
+        struct Echo {
+            at: Option<SimTime>,
+        }
+        impl Actor<u8> for Echo {
+            fn handle(&mut self, msg: u8, ctx: &mut Context<'_, u8>) {
+                if msg == 0 {
+                    // Try to schedule "yesterday"; must arrive now, not panic.
+                    ctx.schedule_at(SimTime::ZERO, ctx.self_id(), 1);
+                } else {
+                    self.at = Some(ctx.now());
+                }
+            }
+        }
+        let mut sim = Simulation::new(0);
+        let e = sim.add_actor("echo", Echo { at: None });
+        sim.schedule(SimTime::from_secs(5), e, 0);
+        sim.run();
+        assert_eq!(sim.actor_as::<Echo>(e).unwrap().at, Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn actor_as_wrong_type_is_none() {
+        let (sim, pinger, _) = build();
+        assert!(sim.actor_as::<Ponger>(pinger).is_none());
+        assert!(sim.actor_as::<Pinger>(ActorId::from_index(99)).is_none());
+    }
+}

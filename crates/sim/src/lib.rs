@@ -1,0 +1,59 @@
+//! # mcps-sim — deterministic discrete-event simulation kernel
+//!
+//! The substrate under every experiment in the `mcps` workspace: a
+//! single-threaded, deterministic discrete-event executive with
+//!
+//! * integer-microsecond [`time`] (no floating-point drift
+//!   in event ordering),
+//! * an actor model ([`actor::Actor`] + [`kernel::Simulation`]) with
+//!   FIFO tie-breaking at equal timestamps,
+//! * reproducible per-actor randomness ([`rng::RngFactory`] — same
+//!   master seed ⇒ bit-identical run),
+//! * a bounded audit [`trace`] and metric collection
+//!   ([`metrics`], [`stats`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use mcps_sim::prelude::*;
+//!
+//! struct Heartbeat { beats: u32 }
+//!
+//! impl Actor<()> for Heartbeat {
+//!     fn handle(&mut self, _msg: (), ctx: &mut Context<'_, ()>) {
+//!         self.beats += 1;
+//!         ctx.trace("hb", format!("beat {}", self.beats));
+//!         ctx.schedule_self(SimDuration::from_secs(1), ());
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(42);
+//! let hb = sim.add_actor("heartbeat", Heartbeat { beats: 0 });
+//! sim.schedule(SimTime::ZERO, hb, ());
+//! sim.run_until(SimTime::from_secs(10));
+//! assert_eq!(sim.actor_as::<Heartbeat>(hb).unwrap().beats, 11);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actor;
+pub mod kernel;
+pub mod metrics;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+/// Convenient glob-import of the kernel's everyday names.
+pub mod prelude {
+    pub use crate::actor::{Actor, ActorId};
+    pub use crate::kernel::{Context, Simulation};
+    pub use crate::rng::{RngFactory, SimRng};
+    pub use crate::stats::Summary;
+    pub use crate::time::{SimDuration, SimTime};
+}
+
+pub use actor::{Actor, ActorId};
+pub use kernel::{Context, Simulation};
+pub use time::{SimDuration, SimTime};

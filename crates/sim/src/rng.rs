@@ -1,0 +1,214 @@
+//! Deterministic random number streams.
+//!
+//! Every stochastic element of a simulation draws from a [`SimRng`]
+//! stream derived from a single master seed plus a stream label. Streams
+//! are statistically independent but fully reproducible: the same master
+//! seed always yields the same experiment, regardless of how many other
+//! streams exist or in which order they are created.
+//!
+//! ```
+//! use mcps_sim::rng::RngFactory;
+//! use rand::Rng;
+//!
+//! let factory = RngFactory::new(42);
+//! let mut a = factory.stream("patient-0");
+//! let mut b = factory.stream("patient-0");
+//! assert_eq!(a.gen::<u64>(), b.gen::<u64>()); // same label ⇒ same stream
+//! ```
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic random stream (ChaCha8, seeded).
+pub type SimRng = ChaCha8Rng;
+
+/// Derives independent, reproducible [`SimRng`] streams from one master
+/// seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RngFactory {
+    master_seed: u64,
+}
+
+impl RngFactory {
+    /// Creates a factory for the given master seed.
+    pub const fn new(master_seed: u64) -> Self {
+        RngFactory { master_seed }
+    }
+
+    /// The master seed this factory derives from.
+    pub const fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Returns the stream for a string label. Equal labels always give
+    /// identical streams; distinct labels give independent streams.
+    pub fn stream(&self, label: &str) -> SimRng {
+        ChaCha8Rng::seed_from_u64(self.master_seed ^ fnv1a(label.as_bytes()))
+    }
+
+    /// Returns the stream for a numeric index (e.g. an actor id).
+    pub fn stream_idx(&self, idx: u64) -> SimRng {
+        ChaCha8Rng::seed_from_u64(self.master_seed ^ splitmix64(idx.wrapping_add(0x9E37_79B9)))
+    }
+}
+
+/// 64-bit FNV-1a hash, used only for seed derivation (stability matters
+/// more than distribution quality here).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer, decorrelates consecutive indices.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draws from a normal distribution via the Box–Muller transform.
+///
+/// `rand_distr` is not among the approved dependencies, so the few
+/// distributions the simulators need are implemented here.
+pub fn normal(rng: &mut impl RngCore, mean: f64, std_dev: f64) -> f64 {
+    // Box–Muller: two uniforms -> one normal (the second is discarded to
+    // keep the call stateless).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    mean + std_dev * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws from a log-normal distribution with the given *underlying*
+/// normal parameters.
+pub fn log_normal(rng: &mut impl RngCore, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Draws an exponentially distributed value with the given mean.
+///
+/// # Panics
+///
+/// Panics if `mean` is not finite and positive.
+pub fn exponential(rng: &mut impl RngCore, mean: f64) -> f64 {
+    assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// Returns `true` with probability `p` (clamped to `[0, 1]`).
+pub fn bernoulli(rng: &mut impl RngCore, p: f64) -> bool {
+    rng.gen_range(0.0..1.0) < p.clamp(0.0, 1.0)
+}
+
+/// Draws a value from a triangular distribution on `[low, high]` with
+/// the given `mode`.
+///
+/// # Panics
+///
+/// Panics if the parameters do not satisfy `low <= mode <= high`.
+pub fn triangular(rng: &mut impl RngCore, low: f64, mode: f64, high: f64) -> f64 {
+    assert!(low <= mode && mode <= high, "triangular requires low <= mode <= high");
+    if low == high {
+        return low;
+    }
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let fc = (mode - low) / (high - low);
+    if u < fc {
+        low + ((high - low) * (mode - low) * u).sqrt()
+    } else {
+        high - ((high - low) * (high - mode) * (1.0 - u)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_label_same_stream() {
+        let f = RngFactory::new(7);
+        let xs: Vec<u64> = (0..8).map(|_| 0).collect();
+        let mut a = f.stream("x");
+        let mut b = f.stream("x");
+        for _ in xs {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let f = RngFactory::new(7);
+        let mut a = f.stream("x");
+        let mut b = f.stream("y");
+        // Astronomically unlikely to collide on first draw if independent.
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = RngFactory::new(1).stream("x");
+        let mut b = RngFactory::new(2).stream("x");
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn index_streams_are_reproducible() {
+        let f = RngFactory::new(99);
+        let mut a = f.stream_idx(3);
+        let mut b = f.stream_idx(3);
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        let mut c = f.stream_idx(4);
+        assert_ne!(f.stream_idx(3).gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = RngFactory::new(5).stream("normal");
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.25, "var={var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = RngFactory::new(5).stream("exp");
+        let n = 20_000;
+        let mean = (0..n).map(|_| exponential(&mut rng, 3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean={mean}");
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = RngFactory::new(5).stream("bern");
+        let n = 20_000;
+        let hits = (0..n).filter(|_| bernoulli(&mut rng, 0.25)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate={rate}");
+    }
+
+    #[test]
+    fn triangular_bounds_and_degenerate() {
+        let mut rng = RngFactory::new(5).stream("tri");
+        for _ in 0..1_000 {
+            let x = triangular(&mut rng, 1.0, 2.0, 4.0);
+            assert!((1.0..=4.0).contains(&x));
+        }
+        assert_eq!(triangular(&mut rng, 3.0, 3.0, 3.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "triangular")]
+    fn triangular_rejects_bad_params() {
+        let mut rng = RngFactory::new(5).stream("tri2");
+        let _ = triangular(&mut rng, 2.0, 1.0, 4.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Summary statistics used by the experiment harnesses.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Descriptive statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 if n < 2).
+    pub std_dev: f64,
+    /// Minimum (0 for an empty sample).
+    pub min: f64,
+    /// Maximum (0 for an empty sample).
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Computes a summary of `values`. Non-finite values are ignored.
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut xs: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        if xs.is_empty() {
+            return Summary { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, median: 0.0, p95: 0.0, p99: 0.0 };
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: xs[0],
+            max: xs[n - 1],
+            median: percentile_sorted(&xs, 50.0),
+            p95: percentile_sorted(&xs, 95.0),
+            p99: percentile_sorted(&xs, 99.0),
+        }
+    }
+
+    /// Half-width of the ~95% normal-approximation confidence interval
+    /// of the mean.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3}±{:.3} min={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+            self.n,
+            self.mean,
+            self.ci95_half_width(),
+            self.min,
+            self.median,
+            self.p95,
+            self.p99,
+            self.max
+        )
+    }
+}
+
+/// Percentile (0–100) of an unsorted sample by linear interpolation.
+/// Non-finite values are ignored; returns 0 for an empty sample.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    let mut xs: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    percentile_sorted(&xs, p)
+}
+
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// Useful when an experiment streams millions of samples and storing
+/// them for [`Summary::from_values`] would be wasteful.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation. Non-finite values are ignored.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (n−1 denominator; 0 if n < 2).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n as f64;
+        self.m2 += other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn summary_empty_and_singleton() {
+        let e = Summary::from_values(&[]);
+        assert_eq!(e.n, 0);
+        assert_eq!(e.mean, 0.0);
+        let s = Summary::from_values(&[7.0]);
+        assert_eq!(s.n, 1);
+        assert_eq!((s.median, s.p95, s.p99), (7.0, 7.0, 7.0));
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn summary_ignores_nan() {
+        let s = Summary::from_values(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.n, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert!((percentile(&xs, 0.0) - 10.0).abs() < 1e-12);
+        assert!((percentile(&xs, 100.0) - 40.0).abs() < 1e-12);
+        assert!((percentile(&xs, 50.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 5.0).collect();
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let s = Summary::from_values(&xs);
+        assert!((w.mean() - s.mean).abs() < 1e-9);
+        assert!((w.std_dev() - s.std_dev).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_merge_matches_single_pass() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (50..100).map(|i| i as f64 * 1.5).collect();
+        let mut a = Welford::new();
+        xs.iter().for_each(|&x| a.push(x));
+        let mut b = Welford::new();
+        ys.iter().for_each(|&y| b.push(y));
+        a.merge(&b);
+        let mut all = Welford::new();
+        xs.iter().chain(&ys).for_each(|&x| all.push(x));
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-6);
+    }
+}

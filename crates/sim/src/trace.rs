@@ -1,0 +1,186 @@
+//! Structured simulation trace log.
+//!
+//! Every component of an MCPS simulation can append timestamped,
+//! categorized records to a [`TraceLog`]. Traces serve two purposes:
+//! post-run debugging/inspection, and — in the spirit of the paper's
+//! certifiability concerns — an audit trail from which experiments
+//! extract event timings (e.g. "when did the pump actually stop?").
+
+use crate::actor::ActorId;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Simulation time at which the record was emitted.
+    pub at: SimTime,
+    /// Emitting actor.
+    pub actor: ActorId,
+    /// Free-form category tag, e.g. `"pump"`, `"alarm"`, `"net"`.
+    pub category: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {:>3} {:<10} {}", self.at, self.actor.index(), self.category, self.message)
+    }
+}
+
+/// An append-only, bounded trace log.
+///
+/// The log drops the *oldest* records once `capacity` is exceeded, so
+/// long simulations cannot exhaust memory; `dropped()` reports how many
+/// were discarded.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    records: std::collections::VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        Self::new(1 << 20)
+    }
+}
+
+impl TraceLog {
+    /// Creates a log holding at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        TraceLog {
+            records: std::collections::VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// Enables or disables recording (disabled appends are no-ops).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, at: SimTime, actor: ActorId, category: &str, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord {
+            at,
+            actor,
+            category: category.to_owned(),
+            message: message.into(),
+        });
+    }
+
+    /// All retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Retained records with the given category.
+    pub fn by_category<'a>(&'a self, category: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
+        self.records.iter().filter(move |r| r.category == category)
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of records discarded due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The first retained record matching a predicate.
+    pub fn find(&self, mut pred: impl FnMut(&TraceRecord) -> bool) -> Option<&TraceRecord> {
+        self.records.iter().find(|r| pred(r))
+    }
+
+    /// Removes all records (capacity and enablement are kept).
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(log: &mut TraceLog, ms: u64, cat: &str, msg: &str) {
+        log.push(SimTime::from_millis(ms), ActorId::from_index(0), cat, msg);
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut log = TraceLog::new(16);
+        rec(&mut log, 1, "pump", "start");
+        rec(&mut log, 2, "alarm", "spo2 low");
+        rec(&mut log, 3, "pump", "stop");
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.by_category("pump").count(), 2);
+        let stop = log.find(|r| r.message == "stop").unwrap();
+        assert_eq!(stop.at, SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn capacity_drops_oldest() {
+        let mut log = TraceLog::new(2);
+        rec(&mut log, 1, "a", "1");
+        rec(&mut log, 2, "a", "2");
+        rec(&mut log, 3, "a", "3");
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.records().next().unwrap().message, "2");
+    }
+
+    #[test]
+    fn disabled_log_ignores_push() {
+        let mut log = TraceLog::new(4);
+        log.set_enabled(false);
+        rec(&mut log, 1, "a", "1");
+        assert!(log.is_empty());
+        log.set_enabled(true);
+        rec(&mut log, 2, "a", "2");
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut log = TraceLog::new(4);
+        rec(&mut log, 1, "pump", "start");
+        let s = log.records().next().unwrap().to_string();
+        assert!(s.contains("pump") && s.contains("start"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut log = TraceLog::new(1);
+        rec(&mut log, 1, "a", "1");
+        rec(&mut log, 2, "a", "2");
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+}

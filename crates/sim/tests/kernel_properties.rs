@@ -1,0 +1,135 @@
+//! Property-based tests of the simulation kernel and statistics.
+
+use mcps_sim::prelude::*;
+use proptest::prelude::*;
+
+/// Records every (time, tag) it receives, in delivery order.
+struct Recorder {
+    seen: Vec<(SimTime, u32)>,
+}
+
+impl Actor<u32> for Recorder {
+    fn handle(&mut self, msg: u32, ctx: &mut Context<'_, u32>) {
+        self.seen.push((ctx.now(), msg));
+    }
+}
+
+proptest! {
+    /// Events are always delivered in nondecreasing time order, with
+    /// FIFO tie-breaking at equal timestamps.
+    #[test]
+    fn delivery_order_is_time_then_fifo(
+        events in proptest::collection::vec((0u64..1000, any::<u32>()), 1..100),
+    ) {
+        let mut sim: Simulation<u32> = Simulation::new(0);
+        let r = sim.add_actor("rec", Recorder { seen: vec![] });
+        for &(ms, tag) in &events {
+            sim.schedule(SimTime::from_millis(ms), r, tag);
+        }
+        sim.run();
+        let seen = &sim.actor_as::<Recorder>(r).unwrap().seen;
+        prop_assert_eq!(seen.len(), events.len());
+        // Nondecreasing times.
+        for w in seen.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+        // FIFO within equal timestamps: the subsequence at each time
+        // must match scheduling order.
+        let mut expect = events.clone();
+        expect.sort_by_key(|&(ms, _)| ms); // stable: preserves insert order per time
+        let expect: Vec<(SimTime, u32)> =
+            expect.into_iter().map(|(ms, tag)| (SimTime::from_millis(ms), tag)).collect();
+        prop_assert_eq!(seen, &expect);
+    }
+
+    /// Splitting a run at an arbitrary deadline does not change what
+    /// is delivered.
+    #[test]
+    fn run_until_is_composable(
+        events in proptest::collection::vec((0u64..1000, any::<u32>()), 1..60),
+        split in 0u64..1000,
+    ) {
+        let build = || {
+            let mut sim: Simulation<u32> = Simulation::new(0);
+            let r = sim.add_actor("rec", Recorder { seen: vec![] });
+            for &(ms, tag) in &events {
+                sim.schedule(SimTime::from_millis(ms), r, tag);
+            }
+            (sim, r)
+        };
+        let (mut whole, r1) = build();
+        whole.run_until(SimTime::from_secs(2));
+        let (mut split_sim, r2) = build();
+        split_sim.run_until(SimTime::from_millis(split));
+        split_sim.run_until(SimTime::from_secs(2));
+        prop_assert_eq!(
+            &whole.actor_as::<Recorder>(r1).unwrap().seen,
+            &split_sim.actor_as::<Recorder>(r2).unwrap().seen
+        );
+        prop_assert_eq!(whole.now(), split_sim.now());
+    }
+
+    /// Percentiles are monotone in p and bracketed by min/max.
+    #[test]
+    fn percentile_monotone(
+        mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = mcps_sim::stats::percentile(&xs, lo);
+        let b = mcps_sim::stats::percentile(&xs, hi);
+        prop_assert!(a <= b + 1e-9);
+        xs.sort_by(f64::total_cmp);
+        prop_assert!(a >= xs[0] - 1e-9 && b <= xs[xs.len() - 1] + 1e-9);
+    }
+
+    /// Summary invariants hold for arbitrary samples.
+    #[test]
+    fn summary_invariants(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::from_values(&xs);
+        prop_assert_eq!(s.n, xs.len());
+        prop_assert!(s.min <= s.median && s.median <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+    }
+
+    /// Welford merge equals single-pass accumulation.
+    #[test]
+    fn welford_merge_is_associative(
+        xs in proptest::collection::vec(-1e3f64..1e3, 0..100),
+        ys in proptest::collection::vec(-1e3f64..1e3, 0..100),
+    ) {
+        use mcps_sim::stats::Welford;
+        let mut a = Welford::new();
+        xs.iter().for_each(|&x| a.push(x));
+        let mut b = Welford::new();
+        ys.iter().for_each(|&y| b.push(y));
+        a.merge(&b);
+        let mut all = Welford::new();
+        xs.iter().chain(&ys).for_each(|&x| all.push(x));
+        prop_assert_eq!(a.count(), all.count());
+        prop_assert!((a.mean() - all.mean()).abs() < 1e-6);
+        prop_assert!((a.variance() - all.variance()).abs() < 1e-3);
+    }
+
+    /// Time arithmetic round-trips.
+    #[test]
+    fn time_arithmetic_roundtrips(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let time = SimTime::from_micros(t);
+        let dur = SimDuration::from_micros(d);
+        prop_assert_eq!((time + dur) - dur, time);
+        prop_assert_eq!((time + dur) - time, dur);
+        prop_assert_eq!(time.saturating_add(dur).saturating_since(time), dur);
+    }
+
+    /// RNG streams: label-determined, order-independent.
+    #[test]
+    fn rng_streams_are_stable(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        use rand::Rng;
+        let f = RngFactory::new(seed);
+        let mut a = f.stream(&label);
+        let mut b = f.stream(&label);
+        prop_assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+}
