@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Repo CI gate. Run from anywhere; fails fast on the first broken step.
+#
+#   1. cargo fmt --check                        — formatting (rustfmt.toml)
+#   2. cargo clippy --workspace -D warnings     — lints, all targets
+#   3. cargo build --release && cargo test -q   — the tier-1 gate (ROADMAP.md)
+#
+# Extras the tier-1 gate does not cover:
+#   4. cargo test --workspace -q                — every crate incl. shims
+#   5. cargo build --benches                    — criterion benches compile
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== fmt =="
+cargo fmt --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "== benches compile =="
+cargo build --benches
+
+echo "CI OK"

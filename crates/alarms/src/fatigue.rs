@@ -86,7 +86,8 @@ impl NurseModel {
             self.recent.pop_front();
         }
         let responded = bernoulli(rng, p);
-        let median = self.config.base_delay_secs * (1.0 + self.config.delay_growth_per_alarm * burden);
+        let median =
+            self.config.base_delay_secs * (1.0 + self.config.delay_growth_per_alarm * burden);
         let delay_secs = log_normal(rng, median.max(1.0).ln(), 0.4);
         NurseResponse { responded, delay_secs }
     }
@@ -131,8 +132,7 @@ pub fn operational_score(
     config: NurseConfig,
     rng: &mut impl RngCore,
 ) -> OperationalScore {
-    let labeled: Vec<(f64, bool)> =
-        alarm_onsets_secs.iter().map(|&t| (t, is_true(t))).collect();
+    let labeled: Vec<(f64, bool)> = alarm_onsets_secs.iter().map(|&t| (t, is_true(t))).collect();
     operational_score_labeled(&labeled, config, rng)
 }
 

@@ -209,10 +209,8 @@ impl FusionAlarm {
         let mut solo_trigger = false;
         for (kind, bands, _) in &self.config.channels {
             let run = self.solo_runs.entry(*kind).or_insert(0);
-            let severe = self
-                .accepted
-                .get(kind)
-                .is_some_and(|&(t, v)| t == now && bands.score(v) == 3);
+            let severe =
+                self.accepted.get(kind).is_some_and(|&(t, v)| t == now && bands.score(v) == 3);
             if severe {
                 *run += 1;
                 if *run >= self.config.solo_severe_persistence {
@@ -273,7 +271,12 @@ mod tests {
         m
     }
 
-    fn feed(a: &mut FusionAlarm, start: u64, n: u64, f: &BTreeMap<VitalKind, f64>) -> Vec<AlarmEvent> {
+    fn feed(
+        a: &mut FusionAlarm,
+        start: u64,
+        n: u64,
+        f: &BTreeMap<VitalKind, f64>,
+    ) -> Vec<AlarmEvent> {
         let mut out = Vec::new();
         for i in 0..n {
             out.extend(a.observe(SimTime::from_secs(start + i), f));
@@ -335,7 +338,10 @@ mod tests {
         feed(&mut a, 0, 10, &frame(96.0, 13.0, 40.0, 70.0));
         for i in 0..120u64 {
             let k = i as f64 / 120.0;
-            a.observe(SimTime::from_secs(10 + i), &frame(96.0 - 9.0 * k, 13.0 - 8.0 * k, 40.0 + 20.0 * k, 70.0));
+            a.observe(
+                SimTime::from_secs(10 + i),
+                &frame(96.0 - 9.0 * k, 13.0 - 8.0 * k, 40.0 + 20.0 * k, 70.0),
+            );
         }
         assert!(a.is_active());
         // Gradual recovery.

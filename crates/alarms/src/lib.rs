@@ -46,7 +46,9 @@ pub mod threshold;
 pub mod trend;
 
 pub use event::{AlarmEvent, AlarmPhase, AlarmPriority};
-pub use fatigue::{operational_score, operational_score_labeled, NurseConfig, NurseModel, OperationalScore};
+pub use fatigue::{
+    operational_score, operational_score_labeled, NurseConfig, NurseModel, OperationalScore,
+};
 pub use fusion::{DangerBands, FusionAlarm, FusionConfig};
 pub use manager::AlarmManager;
 pub use plausibility::{FlatlineConfig, FlatlineDetector, PlausibilityMonitor};

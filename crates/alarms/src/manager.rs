@@ -125,7 +125,10 @@ mod tests {
     #[test]
     fn tracks_active_set() {
         let mut m = AlarmManager::new();
-        m.ingest([onset(1, "spo2-low", AlarmPriority::High), onset(2, "hr-range", AlarmPriority::Medium)]);
+        m.ingest([
+            onset(1, "spo2-low", AlarmPriority::High),
+            onset(2, "hr-range", AlarmPriority::Medium),
+        ]);
         assert!(m.any_active());
         assert_eq!(m.highest_priority(), Some(AlarmPriority::High));
         m.ingest([cleared(3, "spo2-low")]);

@@ -145,6 +145,20 @@ impl AlarmScore {
         self.missed_episodes += other.missed_episodes;
         self.observed_hours += other.observed_hours;
     }
+
+    /// Writes the score into a [`Telemetry`] bus under `prefix`
+    /// (`{prefix}.true_alarms`, `{prefix}.sensitivity`, …), making the
+    /// bus the single sink experiment binaries aggregate from.
+    pub fn export_into(&self, bus: &mut mcps_sim::metrics::Telemetry, prefix: &str) {
+        bus.incr(&format!("{prefix}.true_alarms"), u64::from(self.true_alarms));
+        bus.incr(&format!("{prefix}.false_alarms"), u64::from(self.false_alarms));
+        bus.incr(&format!("{prefix}.detected_episodes"), u64::from(self.detected_episodes));
+        bus.incr(&format!("{prefix}.missed_episodes"), u64::from(self.missed_episodes));
+        bus.observe(&format!("{prefix}.observed_hours"), self.observed_hours);
+        bus.observe(&format!("{prefix}.sensitivity"), self.sensitivity());
+        bus.observe(&format!("{prefix}.far_per_hour"), self.false_alarm_rate_per_hour());
+        bus.observe(&format!("{prefix}.precision"), self.precision());
+    }
 }
 
 impl fmt::Display for AlarmScore {
@@ -278,8 +292,20 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = AlarmScore { true_alarms: 1, false_alarms: 2, detected_episodes: 1, missed_episodes: 0, observed_hours: 1.0 };
-        let b = AlarmScore { true_alarms: 3, false_alarms: 0, detected_episodes: 2, missed_episodes: 1, observed_hours: 2.0 };
+        let mut a = AlarmScore {
+            true_alarms: 1,
+            false_alarms: 2,
+            detected_episodes: 1,
+            missed_episodes: 0,
+            observed_hours: 1.0,
+        };
+        let b = AlarmScore {
+            true_alarms: 3,
+            false_alarms: 0,
+            detected_episodes: 2,
+            missed_episodes: 1,
+            observed_hours: 2.0,
+        };
         a.merge(&b);
         assert_eq!(a.true_alarms, 4);
         assert_eq!(a.observed_hours, 3.0);

@@ -96,11 +96,7 @@ impl ThresholdAlarm {
 
     /// Whether the named rule is currently annunciating.
     pub fn is_active(&self, name: &str) -> bool {
-        self.rules
-            .iter()
-            .position(|r| r.name == name)
-            .map(|i| self.active[i])
-            .unwrap_or(false)
+        self.rules.iter().position(|r| r.name == name).map(|i| self.active[i]).unwrap_or(false)
     }
 
     /// Feeds one batch of measurements (a map from vital to latest

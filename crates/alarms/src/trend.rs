@@ -134,8 +134,7 @@ impl DeteriorationTrend {
     /// Per-channel contribution: slope in the dangerous direction,
     /// normalized so the configured slope equals 1.0, clamped ≥ 0.
     fn contribution(&self, kind: VitalKind, reference: f64) -> f64 {
-        let Some(slope) = self.estimators.get(&kind).and_then(TrendEstimator::slope_per_min)
-        else {
+        let Some(slope) = self.estimators.get(&kind).and_then(TrendEstimator::slope_per_min) else {
             return 0.0;
         };
         (slope / reference).max(0.0)

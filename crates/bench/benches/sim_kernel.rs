@@ -1,11 +1,14 @@
 //! E7a — simulation-kernel event throughput.
 //!
-//! Measures raw event dispatch (single self-scheduling actor) and
-//! fan-out cost (one producer driving N consumers), establishing the
-//! platform budget that makes cohort-scale experiments feasible.
+//! Measures raw event dispatch (single self-scheduling actor), fan-out
+//! cost (one producer driving N consumers) and batched same-instant
+//! dispatch (the scheduler draining whole instants at once),
+//! establishing the platform budget that makes cohort-scale
+//! experiments feasible. Benches the runtime crate directly — the
+//! `mcps_sim` facade adds no code of its own.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mcps_sim::prelude::*;
+use mcps_runtime::prelude::*;
 
 struct Counter {
     n: u64,
@@ -88,5 +91,48 @@ fn bench_fanout(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dispatch, bench_fanout);
+struct Burst {
+    sink: ActorId,
+    per_round: u64,
+    rounds: u64,
+}
+
+impl Actor<Fan> for Burst {
+    fn handle(&mut self, msg: Fan, ctx: &mut Context<'_, Fan>) {
+        if matches!(msg, Fan::Tick) && self.rounds > 0 {
+            self.rounds -= 1;
+            for _ in 0..self.per_round {
+                ctx.send(self.sink, Fan::Data);
+            }
+            ctx.schedule_self(SimDuration::from_millis(1), Fan::Tick);
+        }
+    }
+}
+
+fn bench_batched_dispatch(c: &mut Criterion) {
+    // Many events share each instant: the scheduler drains the whole
+    // batch without re-touching the heap per event. 500 instants x
+    // `per_round` same-instant deliveries per iteration.
+    let mut group = c.benchmark_group("runtime/batched_dispatch");
+    for &per_round in &[16u64, 128, 1024] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(per_round),
+            &per_round,
+            |b, &per_round| {
+                b.iter(|| {
+                    let mut sim: Simulation<Fan> = Simulation::new(0);
+                    sim.trace_mut().set_enabled(false);
+                    let sink = sim.add_actor("sink", Sink { received: 0 });
+                    let burst = sim.add_actor("burst", Burst { sink, per_round, rounds: 500 });
+                    sim.schedule(SimTime::ZERO, burst, Fan::Tick);
+                    sim.run();
+                    assert_eq!(sim.actor_as::<Sink>(sink).unwrap().received, 500 * per_round);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_fanout, bench_batched_dispatch);
 criterion_main!(benches);

@@ -10,30 +10,25 @@
 //!   detector (the paper's target design),
 //! * `trend-ticket` — fusion plus slope-based early detection.
 //!
+//! Each arm fans the cohort out over seed-isolated shards
+//! (`run_shards` via [`parallel_map`]); every patient writes a private
+//! [`Telemetry`] bus and the arm's statistics are the deterministic
+//! merge of those buses, so the parallel run is byte-identical to a
+//! serial one.
+//!
 //! Expected shape: the closed-loop arms eliminate (or nearly eliminate)
 //! severe hypoxaemic events that the open-loop arm suffers, while
 //! keeping analgesia available.
 //!
-//! Usage: `e1_pca_interlock [--patients N] [--hours H] [--proxy P] [--seed S]`
+//! Usage: `e1_pca_interlock [--patients N] [--hours H] [--proxy P] [--seed S] [--report]`
 
 use mcps_bench::{fnum, parallel_map, Args, Table};
 use mcps_control::interlock::{DetectorKind, InterlockConfig, InterlockStrategy};
 use mcps_core::scenarios::pca::{run_pca_scenario, PcaScenarioConfig};
 use mcps_patient::cohort::{CohortConfig, CohortGenerator};
+use mcps_sim::metrics::Telemetry;
 use mcps_sim::stats::Summary;
 use mcps_sim::time::SimDuration;
-
-struct ArmResult {
-    name: &'static str,
-    severe_events: u32,
-    patients_with_severe: u32,
-    secs_below_severe: Vec<f64>,
-    min_spo2: Vec<f64>,
-    mean_pain: Vec<f64>,
-    frac_analgesia: Vec<f64>,
-    drug_mg: Vec<f64>,
-    stop_latencies: Vec<f64>,
-}
 
 fn run_arm(
     name: &'static str,
@@ -42,50 +37,52 @@ fn run_arm(
     hours: f64,
     proxy: f64,
     seed: u64,
-) -> ArmResult {
+) -> Telemetry {
     let cohort = CohortGenerator::new(seed, CohortConfig::default());
-    let mut res = ArmResult {
-        name,
-        severe_events: 0,
-        patients_with_severe: 0,
-        secs_below_severe: Vec::new(),
-        min_spo2: Vec::new(),
-        mean_pain: Vec::new(),
-        frac_analgesia: Vec::new(),
-        drug_mg: Vec::new(),
-        stop_latencies: Vec::new(),
-    };
-    let outcomes = parallel_map((0..patients).collect(), |i| {
+    let shards = parallel_map((0..patients).collect(), |i| {
         let params = cohort.params(i);
         let mut cfg = match interlock {
             Some(il) => {
                 let mut c = PcaScenarioConfig::baseline(seed.wrapping_add(i), params);
                 c.interlock = Some(il);
-                c.pump.ticket_mode =
-                    matches!(il.strategy, InterlockStrategy::Ticket { .. });
+                c.pump.ticket_mode = matches!(il.strategy, InterlockStrategy::Ticket { .. });
                 c
             }
             None => PcaScenarioConfig::open_loop(seed.wrapping_add(i), params),
         };
         cfg.duration = SimDuration::from_secs_f64(hours * 3600.0);
         cfg.proxy_rate_per_hour = proxy;
-        run_pca_scenario(&cfg)
-    });
-    for out in outcomes {
-        res.severe_events += out.patient.severe_hypox_events;
+        let out = run_pca_scenario(&cfg);
+
+        let mut t = Telemetry::new();
+        t.incr("severe_events", u64::from(out.patient.severe_hypox_events));
         if out.patient.severe_hypox_events > 0 {
-            res.patients_with_severe += 1;
+            t.incr("patients_with_severe", 1);
         }
-        res.secs_below_severe.push(out.patient.secs_below_severe);
-        res.min_spo2.push(out.patient.min_spo2);
-        res.mean_pain.push(out.patient.mean_pain);
-        res.frac_analgesia.push(out.patient.frac_adequate_analgesia);
-        res.drug_mg.push(out.total_drug_mg);
+        t.observe("secs_below_severe", out.patient.secs_below_severe);
+        t.observe("min_spo2", out.patient.min_spo2);
+        t.observe("mean_pain", out.patient.mean_pain);
+        t.observe("frac_analgesia", out.patient.frac_adequate_analgesia);
+        t.observe("drug_mg", out.total_drug_mg);
         if let Some(l) = out.stop_latency_secs {
-            res.stop_latencies.push(l);
+            t.observe("stop_latency_s", l);
         }
+        t
+    });
+    let mut bus = Telemetry::new();
+    bus.annotate("arm", name);
+    bus.annotate("seed", seed.to_string());
+    bus.annotate("patients", patients.to_string());
+    bus.annotate("hours", hours.to_string());
+    bus.annotate("proxy_per_hour", proxy.to_string());
+    for shard in &shards {
+        bus.merge(shard);
     }
-    res
+    bus
+}
+
+fn summ(bus: &Telemetry, name: &str) -> Summary {
+    bus.histogram(name).map(|h| h.summary()).unwrap_or_else(|| Summary::from_values(&[]))
 }
 
 fn main() {
@@ -111,14 +108,7 @@ fn main() {
             proxy,
             seed,
         ),
-        run_arm(
-            "fusion-ticket",
-            Some(InterlockConfig::default()),
-            patients,
-            hours,
-            proxy,
-            seed,
-        ),
+        run_arm("fusion-ticket", Some(InterlockConfig::default()), patients, hours, proxy, seed),
         run_arm(
             "trend-ticket",
             Some(InterlockConfig {
@@ -144,39 +134,38 @@ fn main() {
         "stop latency p95 s",
     ]);
     for a in &arms {
-        let sev = Summary::from_values(&a.secs_below_severe);
-        let spo2 = Summary::from_values(&a.min_spo2);
-        let pain = Summary::from_values(&a.mean_pain);
-        let anal = Summary::from_values(&a.frac_analgesia);
-        let drug = Summary::from_values(&a.drug_mg);
-        let lat = Summary::from_values(&a.stop_latencies);
         t.row([
-            a.name.to_owned(),
-            a.severe_events.to_string(),
-            format!("{}/{}", a.patients_with_severe, patients),
-            fnum(sev.mean),
-            fnum(spo2.median),
-            fnum(pain.mean),
-            fnum(anal.mean),
-            fnum(drug.mean),
-            if a.stop_latencies.is_empty() { "-".into() } else { fnum(lat.p95) },
+            a.manifest().get("arm").cloned().unwrap_or_default(),
+            a.counter("severe_events").to_string(),
+            format!("{}/{}", a.counter("patients_with_severe"), patients),
+            fnum(summ(a, "secs_below_severe").mean),
+            fnum(summ(a, "min_spo2").median),
+            fnum(summ(a, "mean_pain").mean),
+            fnum(summ(a, "frac_analgesia").mean),
+            fnum(summ(a, "drug_mg").mean),
+            match a.histogram("stop_latency_s") {
+                Some(h) => fnum(h.summary().p95),
+                None => "-".into(),
+            },
         ]);
     }
     t.print();
 
-    let open = &arms[0];
-    let threshold = &arms[1];
-    let ticket = &arms[2];
-    let trend = &arms[3];
-    let mean = |v: &[f64]| Summary::from_values(v).mean;
-    let open_severe = mean(&open.secs_below_severe);
-    let thr_severe = mean(&threshold.secs_below_severe);
-    let tkt_severe = mean(&ticket.secs_below_severe);
-    let safety_ok = open_severe > 0.0
-        && thr_severe <= open_severe / 5.0
-        && tkt_severe <= open_severe / 5.0;
+    if args.has_flag("report") {
+        for a in &arms {
+            println!("\n-- telemetry: {} --", a.manifest().get("arm").cloned().unwrap_or_default());
+            print!("{}", a.render_report());
+        }
+    }
+
+    let [open, threshold, ticket, trend] = &arms;
+    let open_severe = summ(open, "secs_below_severe").mean;
+    let thr_severe = summ(threshold, "secs_below_severe").mean;
+    let tkt_severe = summ(ticket, "secs_below_severe").mean;
+    let safety_ok =
+        open_severe > 0.0 && thr_severe <= open_severe / 5.0 && tkt_severe <= open_severe / 5.0;
     let availability_ok =
-        mean(&ticket.frac_analgesia) >= mean(&open.frac_analgesia) - 0.05;
+        summ(ticket, "frac_analgesia").mean >= summ(open, "frac_analgesia").mean - 0.05;
     println!();
     println!(
         "severe-hypoxaemia patient-time: open {:.0}s, threshold-command {:.0}s ({:.0}x less), \
@@ -187,15 +176,15 @@ fn main() {
         tkt_severe,
         if tkt_severe > 0.0 { open_severe / tkt_severe } else { f64::INFINITY },
     );
-    let trend_severe = mean(&trend.secs_below_severe);
+    let trend_severe = summ(trend, "secs_below_severe").mean;
     if safety_ok && availability_ok {
         println!(
             "SHAPE OK: both interlocks cut severe-hypoxaemia time >=5x; the fusion-ticket arm \
              additionally preserves analgesia availability ({:.2} vs open {:.2}, threshold {:.2}); \
              adding trend detection tightens severe time further ({:.0}s -> {:.0}s).",
-            mean(&ticket.frac_analgesia),
-            mean(&open.frac_analgesia),
-            mean(&threshold.frac_analgesia),
+            summ(ticket, "frac_analgesia").mean,
+            summ(open, "frac_analgesia").mean,
+            summ(threshold, "frac_analgesia").mean,
             tkt_severe,
             trend_severe
         );

@@ -4,13 +4,19 @@
 //! algorithms watch the identical measurement streams; ground truth
 //! comes from the noise-free patient state.
 //!
+//! Each seed is one shard: the replicate wards run through the
+//! runtime's deterministic shard pool (`run_shards` via
+//! [`parallel_map`]) and their scores are merged in seed order, then
+//! exported into a single [`Telemetry`] bus.
+//!
 //! Expected shape: the fusion alarm cuts the false-alarm rate several
 //! fold at comparable sensitivity.
 //!
-//! Usage: `e2_smart_alarms [--patients N] [--hours H] [--seeds K]`
+//! Usage: `e2_smart_alarms [--patients N] [--hours H] [--seeds K] [--report]`
 
-use mcps_bench::{fnum, Args, Table};
+use mcps_bench::{fnum, parallel_map, Args, Table};
 use mcps_core::scenarios::ward::{run_ward_scenario, WardConfig};
+use mcps_sim::metrics::Telemetry;
 use mcps_sim::time::SimDuration;
 
 fn main() {
@@ -22,6 +28,20 @@ fn main() {
 
     println!("E2: threshold vs fusion alarms — {patients} beds × {hours} h × {seeds} seeds\n");
 
+    // One shard per seed; each shard runs the plain ward and the
+    // NIBP-cuff ward for that seed on its own isolated RNG streams.
+    let outs = parallel_map((0..seeds).collect(), |seed| {
+        let cfg = WardConfig {
+            seed,
+            patients,
+            duration: SimDuration::from_secs_f64(hours * 3600.0),
+            ..WardConfig::default()
+        };
+        let plain = run_ward_scenario(&cfg);
+        let cuffed = run_ward_scenario(&WardConfig { nibp_cuff: true, ..cfg });
+        (plain, cuffed)
+    });
+
     let mut threshold = mcps_alarms::stats::AlarmScore::default();
     let mut fusion = mcps_alarms::stats::AlarmScore::default();
     let mut threshold_nibp = mcps_alarms::stats::AlarmScore::default();
@@ -29,31 +49,34 @@ fn main() {
     let mut episodes = 0;
     let mut thr_op = mcps_alarms::fatigue::OperationalScore::default();
     let mut fus_op = mcps_alarms::fatigue::OperationalScore::default();
-    for seed in 0..seeds {
-        let cfg = WardConfig {
-            seed,
-            patients,
-            duration: SimDuration::from_secs_f64(hours * 3600.0),
-            ..WardConfig::default()
-        };
-        let out = run_ward_scenario(&cfg);
-        threshold.merge(&out.threshold);
-        fusion.merge(&out.fusion);
-        episodes += out.episodes;
-        for (total, part) in [
-            (&mut thr_op, out.threshold_operational),
-            (&mut fus_op, out.fusion_operational),
-        ] {
+    for (plain, cuffed) in &outs {
+        threshold.merge(&plain.threshold);
+        fusion.merge(&plain.fusion);
+        episodes += plain.episodes;
+        for (total, part) in
+            [(&mut thr_op, &plain.threshold_operational), (&mut fus_op, &plain.fusion_operational)]
+        {
             total.true_answered += part.true_answered;
             total.true_unanswered += part.true_unanswered;
             total.false_answered += part.false_answered;
             total.mean_delay_secs += part.mean_delay_secs / seeds as f64;
         }
-        // Same ward with a cycling NIBP cuff blinding the oximeter.
-        let out = run_ward_scenario(&WardConfig { nibp_cuff: true, ..cfg });
-        threshold_nibp.merge(&out.threshold);
-        fusion_nibp.merge(&out.fusion);
+        threshold_nibp.merge(&cuffed.threshold);
+        fusion_nibp.merge(&cuffed.fusion);
     }
+
+    // The merged scores all flow into one telemetry bus — the single
+    // sink a caller (or --report) can export.
+    let mut bus = Telemetry::new();
+    bus.annotate("scenario", "e2_smart_alarms");
+    bus.annotate("patients", patients.to_string());
+    bus.annotate("hours", hours.to_string());
+    bus.annotate("seeds", seeds.to_string());
+    bus.incr("ground_truth_episodes", u64::from(episodes));
+    threshold.export_into(&mut bus, "threshold");
+    fusion.export_into(&mut bus, "fusion");
+    threshold_nibp.export_into(&mut bus, "threshold_nibp");
+    fusion_nibp.export_into(&mut bus, "fusion_nibp");
 
     let mut t = Table::new([
         "algorithm",
@@ -79,7 +102,7 @@ fn main() {
         ]);
     }
     t.print();
-    println!("\nground-truth episodes across the ward: {episodes}");
+    println!("\nground-truth episodes across the ward: {}", bus.counter("ground_truth_episodes"));
 
     println!("\n-- operational impact (pooled central station, nurse fatigue model) --");
     let mut t = Table::new([
@@ -99,6 +122,11 @@ fn main() {
         ]);
     }
     t.print();
+
+    if args.has_flag("report") {
+        println!("\n-- telemetry --");
+        print!("{}", bus.render_report());
+    }
 
     let far_ratio = if fusion.false_alarm_rate_per_hour() > 0.0 {
         threshold.false_alarm_rate_per_hour() / fusion.false_alarm_rate_per_hour()

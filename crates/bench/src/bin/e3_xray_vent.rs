@@ -104,6 +104,8 @@ fn main() {
             rate_m * 100.0
         );
     } else {
-        println!("SHAPE WARNING: automated {rate_a:.2} (auto-resumes {auto_a}), manual {rate_m:.2}.");
+        println!(
+            "SHAPE WARNING: automated {rate_a:.2} (auto-resumes {auto_a}), manual {rate_m:.2}."
+        );
     }
 }

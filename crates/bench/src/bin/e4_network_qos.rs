@@ -18,6 +18,7 @@ use mcps_control::interlock::{DetectorKind, InterlockConfig, InterlockStrategy};
 use mcps_core::scenarios::pca::{run_pca_scenario, PcaScenarioConfig};
 use mcps_net::qos::LinkQos;
 use mcps_patient::cohort::{CohortConfig, CohortGenerator};
+use mcps_sim::metrics::Telemetry;
 use mcps_sim::time::SimDuration;
 
 struct Cell {
@@ -42,8 +43,6 @@ fn run_cell_with(
     );
     let mut severe = 0.0;
     let mut analgesia = 0.0;
-    let mut sent = 0u64;
-    let mut delivered = 0u64;
     let outcomes = parallel_map((0..patients).collect(), |i| {
         let mut cfg = PcaScenarioConfig::baseline(seed.wrapping_add(i), cohort.params(i));
         cfg.duration = SimDuration::from_secs_f64(hours * 3600.0);
@@ -58,16 +57,18 @@ fn run_cell_with(
         cfg.pump.ticket_mode = matches!(strategy, InterlockStrategy::Ticket { .. });
         run_pca_scenario(&cfg)
     });
+    // Each scenario harvested its own telemetry shard; merging them in
+    // patient order gives the cell's aggregate network figures.
+    let mut bus = Telemetry::new();
     for out in outcomes {
         severe += out.patient.secs_below_severe;
         analgesia += out.patient.frac_adequate_analgesia;
-        sent += out.net_sent;
-        delivered += out.net_delivered;
+        bus.merge(&out.telemetry);
     }
     Cell {
         severe_secs: severe / patients as f64,
         analgesia: analgesia / patients as f64,
-        delivery_ratio: delivered as f64 / sent.max(1) as f64,
+        delivery_ratio: bus.counter("net.delivered") as f64 / bus.counter("net.sent").max(1) as f64,
     }
 }
 
@@ -104,21 +105,14 @@ fn main() {
     ];
 
     println!("-- loss sweep (latency 20 ms) --");
-    let mut t = Table::new([
-        "strategy",
-        "loss %",
-        "mean s<85% /pt",
-        "analgesia frac",
-        "net delivery",
-    ]);
+    let mut t =
+        Table::new(["strategy", "loss %", "mean s<85% /pt", "analgesia frac", "net delivery"]);
     let mut command_low_loss = f64::NAN;
     let mut command_high_loss = f64::NAN;
     let mut ticket_high_loss = f64::NAN;
     for &(name, strategy) in &strategies {
         for &loss in &[0.0, 0.05, 0.15, 0.30, 0.50] {
-            let qos = LinkQos::ideal()
-                .with_latency(SimDuration::from_millis(20))
-                .with_loss(loss);
+            let qos = LinkQos::ideal().with_latency(SimDuration::from_millis(20)).with_loss(loss);
             let cell = run_cell(strategy, qos, patients, hours, seed);
             if name == "command" && loss == 0.0 {
                 command_low_loss = cell.severe_secs;
@@ -146,23 +140,13 @@ fn main() {
         for &ms in &[2u64, 250, 1000, 5000, 15000] {
             let qos = LinkQos::ideal().with_latency(SimDuration::from_millis(ms));
             let cell = run_cell(strategy, qos, patients, hours, seed);
-            t.row([
-                name.to_owned(),
-                ms.to_string(),
-                fnum(cell.severe_secs),
-                fnum(cell.analgesia),
-            ]);
+            t.row([name.to_owned(), ms.to_string(), fnum(cell.severe_secs), fnum(cell.analgesia)]);
         }
     }
     t.print();
 
     println!("\n-- partition sweep (outage starting at t=30min; wired network otherwise) --");
-    let mut t = Table::new([
-        "strategy",
-        "partition min",
-        "mean s<85% /pt",
-        "analgesia frac",
-    ]);
+    let mut t = Table::new(["strategy", "partition min", "mean s<85% /pt", "analgesia frac"]);
     let mut command_part = f64::NAN;
     let mut ticket_part = f64::NAN;
     for &(name, strategy) in &strategies {

@@ -41,13 +41,12 @@ fn main() {
         let elapsed = start.elapsed().as_millis();
         let (verdict, states, cex_steps, cex_time) = match &outcome {
             CheckOutcome::Holds { states } => ("HOLDS", *states, String::new(), String::new()),
-            CheckOutcome::Violated { trace, states } => (
-                "VIOLATED",
-                *states,
-                trace.steps.len().to_string(),
-                trace.elapsed().to_string(),
-            ),
-            CheckOutcome::Exhausted { budget } => ("EXHAUSTED", *budget, String::new(), String::new()),
+            CheckOutcome::Violated { trace, states } => {
+                ("VIOLATED", *states, trace.steps.len().to_string(), trace.elapsed().to_string())
+            }
+            CheckOutcome::Exhausted { budget } => {
+                ("EXHAUSTED", *budget, String::new(), String::new())
+            }
         };
         let matches = outcome.holds() == variant.expected_safe();
         all_match &= matches;

@@ -18,8 +18,8 @@ use mcps_control::closed_loop::{
     FeedbackTciController, FixedRateController, InfusionController, TciController,
 };
 use mcps_patient::cohort::{CohortConfig, CohortGenerator};
-use mcps_patient::vitals::VitalKind;
 use mcps_patient::sensors::{SensorSpec, SimulatedSensor};
+use mcps_patient::vitals::VitalKind;
 use mcps_sim::rng::RngFactory;
 use mcps_sim::stats::Summary;
 
@@ -46,7 +46,8 @@ fn run_patient(
     let factory = RngFactory::new(seed);
     let mut rng = factory.stream("e6-patient");
     let mut sensor_rng = factory.stream("e6-sensor");
-    let mut rr_sensor = SimulatedSensor::new(VitalKind::RespRate, SensorSpec::default_for(VitalKind::RespRate));
+    let mut rr_sensor =
+        SimulatedSensor::new(VitalKind::RespRate, SensorSpec::default_for(VitalKind::RespRate));
     let secs = (hours * 3600.0) as u64;
     let (mut in_band, mut above, mut rr_floor, mut pain_sum) = (0u64, 0u64, 0u64, 0.0);
     for s in 0..secs {
@@ -110,13 +111,8 @@ fn run_cohort(
     }
 
     println!("-- {label} --");
-    let mut t = Table::new([
-        "controller",
-        "time-in-band",
-        "time-above-band",
-        "RR<8 s/pt",
-        "mean pain",
-    ]);
+    let mut t =
+        Table::new(["controller", "time-in-band", "time-above-band", "RR<8 s/pt", "mean pain"]);
     let mut means = Vec::new();
     for (name, stats) in &arms {
         let ib = Summary::from_values(&stats.in_band);
@@ -151,14 +147,8 @@ fn main() {
         BAND.0, BAND.1
     );
 
-    let standard = run_cohort(
-        "standard cohort",
-        CohortConfig::default(),
-        patients,
-        hours,
-        seed,
-        target,
-    );
+    let standard =
+        run_cohort("standard cohort", CohortConfig::default(), patients, hours, seed, target);
     let sensitive = run_cohort(
         "opioid-sensitive cohort (stress test)",
         CohortConfig { frac_opioid_sensitive: 1.0, frac_sleep_apnea: 0.0, variability_sigma: 0.25 },

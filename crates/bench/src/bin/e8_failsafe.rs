@@ -114,19 +114,15 @@ fn main() {
     );
 
     let cohort = CohortGenerator::new(seed, CohortConfig::default());
-    let mut t = Table::new([
-        "fault class",
-        "fail-safe engaged",
-        "engage p95 s",
-        "expected",
-        "verdict",
-    ]);
+    let mut t =
+        Table::new(["fault class", "fail-safe engaged", "engage p95 s", "expected", "verdict"]);
     let mut all_ok = true;
     for arm in arms() {
         let mut engaged = 0u64;
         let mut latencies = Vec::new();
         for i in 0..trials {
-            let mut cfg = PcaScenarioConfig::baseline(seed.wrapping_add(1000 + i), cohort.params(i));
+            let mut cfg =
+                PcaScenarioConfig::baseline(seed.wrapping_add(1000 + i), cohort.params(i));
             cfg.duration = SimDuration::from_mins(40);
             cfg.oximeter_fault = arm.oximeter_fault.clone();
             cfg.capnograph_fault = arm.capnograph_fault.clone();

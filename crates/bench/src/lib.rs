@@ -9,49 +9,21 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::num::NonZeroUsize;
 
 /// Maps `f` over `items` on a small worker pool, preserving order.
 /// Scenario runs are pure and independent, so cohort experiments
 /// parallelize trivially; this keeps the full-size tables fast.
+///
+/// Thin alias for [`mcps_runtime::shard::run_shards`], kept for the
+/// experiment binaries that predate the runtime crate. See that
+/// function's docs for the determinism rules shard closures must obey.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    if workers <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, T)>();
-    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, R)>();
-    let n = items.len();
-    for pair in items.into_iter().enumerate() {
-        job_tx.send(pair).expect("queue open");
-    }
-    drop(job_tx);
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let job_rx = job_rx.clone();
-            let res_tx = res_tx.clone();
-            let f = &f;
-            scope.spawn(move || {
-                while let Ok((i, item)) = job_rx.recv() {
-                    let _ = res_tx.send((i, f(item)));
-                }
-            });
-        }
-        drop(res_tx);
-        while let Ok((i, r)) = res_rx.recv() {
-            out[i] = Some(r);
-        }
-    });
-    out.into_iter().map(|r| r.expect("every job completes")).collect()
+    mcps_runtime::shard::run_shards(items, f)
 }
 
 /// A minimal fixed-width table printer for experiment output.

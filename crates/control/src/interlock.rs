@@ -304,9 +304,7 @@ impl PcaInterlock {
             },
             InterlockStrategy::Ticket { validity, period } => {
                 if deny.is_none() {
-                    let due = self
-                        .last_grant
-                        .is_none_or(|t| now.saturating_since(t) >= period);
+                    let due = self.last_grant.is_none_or(|t| now.saturating_since(t) >= period);
                     if due {
                         self.last_grant = Some(now);
                         self.grants_issued += 1;
@@ -352,7 +350,11 @@ mod tests {
         il.on_measurement(t(now), VitalKind::HeartRate, 80.0);
     }
 
-    fn feed_gradual_depression(il: &mut PcaInterlock, start: u64, steps: u64) -> Vec<(u64, Vec<InterlockAction>)> {
+    fn feed_gradual_depression(
+        il: &mut PcaInterlock,
+        start: u64,
+        steps: u64,
+    ) -> Vec<(u64, Vec<InterlockAction>)> {
         let mut out = Vec::new();
         for i in 0..steps {
             let k = i as f64 / steps as f64;
@@ -467,7 +469,8 @@ mod tests {
 
     #[test]
     fn command_mode_stops_on_silence() {
-        let cfg = InterlockConfig { strategy: InterlockStrategy::Command, ..InterlockConfig::default() };
+        let cfg =
+            InterlockConfig { strategy: InterlockStrategy::Command, ..InterlockConfig::default() };
         let mut il = PcaInterlock::new(cfg);
         for s in 0..5 {
             feed_healthy(&mut il, s);
@@ -560,7 +563,8 @@ mod tests {
 
     #[test]
     fn threshold_detector_variant_works() {
-        let cfg = InterlockConfig { detector: DetectorKind::Threshold, ..InterlockConfig::default() };
+        let cfg =
+            InterlockConfig { detector: DetectorKind::Threshold, ..InterlockConfig::default() };
         let mut il = PcaInterlock::new(cfg);
         for s in 0..10 {
             feed_healthy(&mut il, s);

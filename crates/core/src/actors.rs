@@ -164,7 +164,10 @@ impl Actor<IceMsg> for PumpActor {
                 self.record_decision(d);
                 ctx.trace("pump", format!("bolus request: {d:?}"));
             }
-            IceMsg::Net(NetOp::Deliver { from, payload: NetPayload::Command(cmd) }) => {
+            IceMsg::Net(NetOp::Deliver {
+                from,
+                payload: NetPayload::Command { id, command: cmd },
+            }) => {
                 match cmd {
                     IceCommand::StopPump => {
                         self.pump.stop(now, mcps_device::pump::StopReason::Command);
@@ -184,7 +187,7 @@ impl Actor<IceMsg> for PumpActor {
                     IceMsg::Net(NetOp::Send {
                         from: self.endpoint,
                         to: NetAddress::Endpoint(from),
-                        payload: NetPayload::Ack { command: cmd, applied_at: now },
+                        payload: NetPayload::Ack { id, command: cmd, applied_at: now },
                     }),
                 );
             }
@@ -330,7 +333,10 @@ impl Actor<IceMsg> for VentilatorActor {
                 self.vent.poll(now);
                 ctx.schedule_self(SimDuration::from_millis(250), IceMsg::Tick);
             }
-            IceMsg::Net(NetOp::Deliver { from, payload: NetPayload::Command(cmd) }) => {
+            IceMsg::Net(NetOp::Deliver {
+                from,
+                payload: NetPayload::Command { id, command: cmd },
+            }) => {
                 match cmd {
                     IceCommand::PauseVentilation { duration } => {
                         let out = self.vent.pause(now, duration);
@@ -347,7 +353,7 @@ impl Actor<IceMsg> for VentilatorActor {
                     IceMsg::Net(NetOp::Send {
                         from: self.endpoint,
                         to: NetAddress::Endpoint(from),
-                        payload: NetPayload::Ack { command: cmd, applied_at: now },
+                        payload: NetPayload::Ack { id, command: cmd, applied_at: now },
                     }),
                 );
             }
@@ -388,7 +394,10 @@ impl Actor<IceMsg> for XRayActor {
                 }
                 ctx.schedule_self(ANNOUNCE_PERIOD, IceMsg::Tick);
             }
-            IceMsg::Net(NetOp::Deliver { from, payload: NetPayload::Command(cmd) }) => {
+            IceMsg::Net(NetOp::Deliver {
+                from,
+                payload: NetPayload::Command { id, command: cmd },
+            }) => {
                 match cmd {
                     IceCommand::ArmExposure => {
                         self.xray.arm();
@@ -405,7 +414,7 @@ impl Actor<IceMsg> for XRayActor {
                     IceMsg::Net(NetOp::Send {
                         from: self.endpoint,
                         to: NetAddress::Endpoint(from),
-                        payload: NetPayload::Ack { command: cmd, applied_at: now },
+                        payload: NetPayload::Ack { id, command: cmd, applied_at: now },
                     }),
                 );
             }
@@ -418,7 +427,7 @@ impl Actor<IceMsg> for XRayActor {
 mod tests {
     use super::*;
     use crate::body::PatientBody;
-    
+
     use crate::netctl::NetworkController;
     use mcps_device::monitor::pulse_oximeter;
     use mcps_device::pump::{PcaPumpConfig, PumpState};
@@ -444,7 +453,7 @@ mod tests {
                     NetPayload::Announce { .. } => self.announces += 1,
                     NetPayload::Data { .. } => self.data += 1,
                     NetPayload::Ack { .. } => self.acks += 1,
-                    NetPayload::Command(_) => {}
+                    NetPayload::Command { .. } => {}
                 }
             }
         }
@@ -505,7 +514,11 @@ mod tests {
             r.body.clone(),
             r.nc_id,
             r.dev_ep,
-            FaultPlan::none().with_fault(mcps_device::faults::FaultKind::Crash, SimTime::ZERO, None),
+            FaultPlan::none().with_fault(
+                mcps_device::faults::FaultKind::Crash,
+                SimTime::ZERO,
+                None,
+            ),
         );
         let m_id = r.sim.add_actor("oximeter", m);
         r.sim.actor_as_mut::<NetworkController>(r.nc_id).unwrap().bind(r.dev_ep, m_id);
@@ -529,7 +542,7 @@ mod tests {
             p_id,
             IceMsg::Net(NetOp::Deliver {
                 from: r.sup_ep,
-                payload: NetPayload::Command(IceCommand::StopPump),
+                payload: NetPayload::Command { id: 1, command: IceCommand::StopPump },
             }),
         );
         r.sim.run_until(SimTime::from_secs(10));
@@ -569,9 +582,10 @@ mod tests {
             v_id,
             IceMsg::Net(NetOp::Deliver {
                 from: r.sup_ep,
-                payload: NetPayload::Command(IceCommand::PauseVentilation {
-                    duration: SimDuration::from_secs(8),
-                }),
+                payload: NetPayload::Command {
+                    id: 1,
+                    command: IceCommand::PauseVentilation { duration: SimDuration::from_secs(8) },
+                },
             }),
         );
         r.sim.schedule(
@@ -579,7 +593,7 @@ mod tests {
             v_id,
             IceMsg::Net(NetOp::Deliver {
                 from: r.sup_ep,
-                payload: NetPayload::Command(IceCommand::ResumeVentilation),
+                payload: NetPayload::Command { id: 2, command: IceCommand::ResumeVentilation },
             }),
         );
         r.sim.run_until(SimTime::from_secs(20));
@@ -595,11 +609,14 @@ mod tests {
         let x_id = r.sim.add_actor("xray", XRayActor::new(x, r.nc_id, r.dev_ep));
         r.sim.actor_as_mut::<NetworkController>(r.nc_id).unwrap().bind(r.dev_ep, x_id);
         r.sim.schedule(SimTime::ZERO, x_id, IceMsg::Tick);
-        for (t, cmd) in [(2u64, IceCommand::ArmExposure), (3, IceCommand::Expose)] {
+        for (t, id, cmd) in [(2u64, 1, IceCommand::ArmExposure), (3, 2, IceCommand::Expose)] {
             r.sim.schedule(
                 SimTime::from_secs(t),
                 x_id,
-                IceMsg::Net(NetOp::Deliver { from: r.sup_ep, payload: NetPayload::Command(cmd) }),
+                IceMsg::Net(NetOp::Deliver {
+                    from: r.sup_ep,
+                    payload: NetPayload::Command { id, command: cmd },
+                }),
             );
         }
         r.sim.run_until(SimTime::from_secs(10));

@@ -256,14 +256,15 @@ impl ClinicalApp for XRayCoordinatorApp {
         }
         match self.state {
             XrState::Idle
-                if self.requested < self.total_exposures && now >= self.next_request_at => {
-                    self.requested += 1;
-                    ctx.command(
-                        "ventilator",
-                        IceCommand::PauseVentilation { duration: self.pause_duration },
-                    );
-                    self.goto(now, XrState::WaitPauseAck);
-                }
+                if self.requested < self.total_exposures && now >= self.next_request_at =>
+            {
+                self.requested += 1;
+                ctx.command(
+                    "ventilator",
+                    IceCommand::PauseVentilation { duration: self.pause_duration },
+                );
+                self.goto(now, XrState::WaitPauseAck);
+            }
             XrState::ArmWhenReady { at } if now >= at => {
                 ctx.command("xray", IceCommand::ArmExposure);
                 self.goto(now, XrState::WaitArmAck);
@@ -391,13 +392,22 @@ mod tests {
         let manager = associated_manager(&app);
         // Tick 0: requests the pause.
         let cmds = drive(&mut app, &manager, 0, |a, ctx| a.on_tick(ctx));
-        assert!(matches!(cmds.as_slice(), [(s, IceCommand::PauseVentilation { .. })] if s == "ventilator"));
+        assert!(
+            matches!(cmds.as_slice(), [(s, IceCommand::PauseVentilation { .. })] if s == "ventilator")
+        );
         // Ack the pause: app schedules the arm.
         drive(&mut app, &manager, 1, |a, ctx| {
-            a.on_ack(ctx, IceCommand::PauseVentilation { duration: SimDuration::from_secs(15) }, ctx.now())
+            a.on_ack(
+                ctx,
+                IceCommand::PauseVentilation { duration: SimDuration::from_secs(15) },
+                ctx.now(),
+            )
         });
         let cmds = drive(&mut app, &manager, 2, |a, ctx| a.on_tick(ctx));
-        assert!(matches!(cmds.as_slice(), [(s, IceCommand::ArmExposure)] if s == "xray"), "{cmds:?}");
+        assert!(
+            matches!(cmds.as_slice(), [(s, IceCommand::ArmExposure)] if s == "xray"),
+            "{cmds:?}"
+        );
         drive(&mut app, &manager, 3, |a, ctx| a.on_ack(ctx, IceCommand::ArmExposure, ctx.now()));
         let cmds = drive(&mut app, &manager, 4, |a, ctx| a.on_tick(ctx));
         assert!(matches!(cmds.as_slice(), [(s, IceCommand::Expose)] if s == "xray"), "{cmds:?}");
@@ -422,7 +432,7 @@ mod tests {
         );
         let manager = associated_manager(&app);
         drive(&mut app, &manager, 0, |a, ctx| a.on_tick(ctx)); // pause requested
-        // No ack ever arrives: at +61 s the app must abort and resume.
+                                                               // No ack ever arrives: at +61 s the app must abort and resume.
         let cmds = drive(&mut app, &manager, 61, |a, ctx| a.on_tick(ctx));
         assert!(
             matches!(cmds.as_slice(), [(s, IceCommand::ResumeVentilation)] if s == "ventilator"),
@@ -438,9 +448,7 @@ mod tests {
         let reqs = ticket.requirements();
         assert_eq!(reqs.len(), 3);
         let pump_slot = reqs.iter().find(|r| r.slot == "pump").unwrap();
-        assert!(pump_slot
-            .requirements
-            .contains(&Requirement::Command(CommandKind::GrantTicket)));
+        assert!(pump_slot.requirements.contains(&Requirement::Command(CommandKind::GrantTicket)));
 
         let command = PcaSafetyApp::new(InterlockConfig {
             strategy: InterlockStrategy::Command,

@@ -76,10 +76,7 @@ impl DeviceManager {
 
     /// The slot an endpoint currently fills, if any.
     pub fn slot_of(&self, endpoint: EndpointId) -> Option<&str> {
-        self.filled
-            .iter()
-            .find(|(_, (ep, _))| *ep == endpoint)
-            .map(|(s, _)| s.as_str())
+        self.filled.iter().find(|(_, (ep, _))| *ep == endpoint).map(|(s, _)| s.as_str())
     }
 
     /// All slot names, in declaration order.
@@ -104,11 +101,8 @@ impl DeviceManager {
     /// Drops the association of `endpoint` (device disappeared).
     /// Returns the slot it vacated, if any.
     pub fn disassociate(&mut self, endpoint: EndpointId) -> Option<String> {
-        let slot = self
-            .filled
-            .iter()
-            .find(|(_, (ep, _))| *ep == endpoint)
-            .map(|(s, _)| s.clone())?;
+        let slot =
+            self.filled.iter().find(|(_, (ep, _))| *ep == endpoint).map(|(s, _)| s.clone())?;
         self.filled.remove(&slot);
         Some(slot)
     }

@@ -57,9 +57,18 @@ pub enum NetPayload {
         endpoint: EndpointId,
     },
     /// A command to a device.
-    Command(IceCommand),
+    Command {
+        /// Unique id assigned by the sender; echoed in the [`NetPayload::Ack`]
+        /// so round-trips pair up even when identical command kinds
+        /// are in flight concurrently.
+        id: u64,
+        /// The command itself.
+        command: IceCommand,
+    },
     /// Acknowledgement of a command.
     Ack {
+        /// Id of the command being acknowledged.
+        id: u64,
         /// The acknowledged command.
         command: IceCommand,
         /// When the device applied it.
@@ -128,7 +137,7 @@ mod tests {
         let m = IceMsg::Net(NetOp::Send {
             from: ep,
             to: NetAddress::Topic(Topic::new("vitals/spo2")),
-            payload: NetPayload::Command(IceCommand::StopPump),
+            payload: NetPayload::Command { id: 7, command: IceCommand::StopPump },
         });
         let json = serde_json::to_string(&m).unwrap();
         let back: IceMsg = serde_json::from_str(&json).unwrap();

@@ -53,6 +53,16 @@ impl NetworkController {
     pub fn delivered(&self) -> u64 {
         self.delivered
     }
+
+    /// Exports the controller's counters and the fabric's aggregate
+    /// link statistics into `bus` under `prefix` — scenarios harvest
+    /// this so network QoS figures flow through the same telemetry
+    /// sink as every other metric.
+    pub fn export_telemetry(&self, bus: &mut mcps_sim::metrics::Telemetry, prefix: &str) {
+        bus.incr(&format!("{prefix}.sent"), self.sent);
+        bus.incr(&format!("{prefix}.delivered"), self.delivered);
+        self.fabric.total_stats().export_into(bus, &format!("{prefix}.link"));
+    }
 }
 
 impl Actor<IceMsg> for NetworkController {
@@ -228,7 +238,7 @@ mod tests {
             IceMsg::Net(NetOp::Send {
                 from: dev,
                 to: NetAddress::Endpoint(ghost),
-                payload: NetPayload::Command(crate::msg::IceCommand::StopPump),
+                payload: NetPayload::Command { id: 1, command: crate::msg::IceCommand::StopPump },
             }),
         );
         sim.run();

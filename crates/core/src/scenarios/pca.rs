@@ -17,6 +17,7 @@ use mcps_net::qos::{LinkQos, OutagePlan};
 use mcps_patient::patient::{PatientOutcome, PatientParams, VirtualPatient};
 use mcps_patient::vitals::VitalKind;
 use mcps_sim::kernel::Simulation;
+use mcps_sim::metrics::Telemetry;
 use mcps_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -131,6 +132,10 @@ pub struct PcaScenarioOutcome {
     pub permit_transitions_secs: Vec<(f64, bool)>,
     /// Ground-truth timeline (empty unless `timeline_every_secs` > 0).
     pub timeline: Vec<crate::body::TimelinePoint>,
+    /// Run telemetry harvested from the stack (network controller and
+    /// fabric QoS counters under `net.*`). Experiment binaries merge
+    /// these per-shard buses into their own aggregate.
+    pub telemetry: Telemetry,
 }
 
 impl PcaScenarioOutcome {
@@ -196,10 +201,8 @@ pub fn run_pca_scenario(config: &PcaScenarioConfig) -> PcaScenarioOutcome {
     // --- actors ----------------------------------------------------------
     let nc_id = sim.add_actor("netctl", NetworkController::new(fabric));
     let body = PatientBody::new(VirtualPatient::new(config.patient));
-    let pump_id = sim.add_actor(
-        "pump",
-        PumpActor::new(PcaPump::new(config.pump), body.clone(), nc_id, ep_pump),
-    );
+    let pump_id = sim
+        .add_actor("pump", PumpActor::new(PcaPump::new(config.pump), body.clone(), nc_id, ep_pump));
     let ox_id = sim.add_actor(
         "oximeter",
         MonitorActor::new(
@@ -295,6 +298,10 @@ pub fn run_pca_scenario(config: &PcaScenarioConfig) -> PcaScenarioOutcome {
         };
     let nc = sim.actor_as::<NetworkController>(nc_id).expect("netctl actor");
     let patient_outcome = body.outcome();
+    let mut telemetry = Telemetry::new();
+    telemetry.annotate("scenario", "pca");
+    telemetry.annotate("seed", config.seed.to_string());
+    nc.export_telemetry(&mut telemetry, "net");
 
     PcaScenarioOutcome {
         frac_adequate_analgesia: patient_outcome.frac_adequate_analgesia,
@@ -322,6 +329,7 @@ pub fn run_pca_scenario(config: &PcaScenarioConfig) -> PcaScenarioOutcome {
             .map(|(t, p)| (t.as_secs_f64(), *p))
             .collect(),
         timeline: patient_actor.timeline().to_vec(),
+        telemetry,
     }
 }
 
@@ -362,7 +370,14 @@ mod tests {
     fn interlock_limits_overdose_for_sensitive_patient_with_proxy() {
         // An opioid-sensitive patient with an aggressive proxy: the
         // open-loop arm should deteriorate further than the closed loop.
-        let cohort = CohortGenerator::new(7, CohortConfig { frac_opioid_sensitive: 1.0, frac_sleep_apnea: 0.0, variability_sigma: 0.1 });
+        let cohort = CohortGenerator::new(
+            7,
+            CohortConfig {
+                frac_opioid_sensitive: 1.0,
+                frac_sleep_apnea: 0.0,
+                variability_sigma: 0.1,
+            },
+        );
         let patient = cohort.params(3);
         let mut open = PcaScenarioConfig::open_loop(11, patient);
         open.proxy_rate_per_hour = 30.0;

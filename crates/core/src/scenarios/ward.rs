@@ -89,9 +89,9 @@ pub fn run_ward_scenario(config: &WardConfig) -> WardOutcome {
         let mut rng = factory.stream(&format!("bed-{bed}"));
         let mut oximeter = pulse_oximeter(&format!("OX-{bed}"));
         let mut capno = capnograph(&format!("CAP-{bed}"));
-        let mut nibp = config
-            .nibp_cuff
-            .then(|| NibpMonitor::new(SimTime::from_secs(60 + u64::from(bed) * 17), NibpConfig::default()));
+        let mut nibp = config.nibp_cuff.then(|| {
+            NibpMonitor::new(SimTime::from_secs(60 + u64::from(bed) * 17), NibpConfig::default())
+        });
         let mut threshold = ThresholdAlarm::pca_default();
         let mut fusion = FusionAlarm::pca_default();
         let mut detector = EpisodeDetector::clinical_default();
@@ -157,9 +157,9 @@ pub fn run_ward_scenario(config: &WardConfig) -> WardOutcome {
         // Label each alarm against its own bed's episodes before the
         // streams are pooled at the central station.
         let near = |t: f64| {
-            episodes
-                .iter()
-                .any(|e| t >= e.start_secs - config.tolerance_secs && t <= e.end_secs + config.tolerance_secs)
+            episodes.iter().any(|e| {
+                t >= e.start_secs - config.tolerance_secs && t <= e.end_secs + config.tolerance_secs
+            })
         };
         threshold_labeled.extend(threshold_onsets.iter().map(|&t| (t, near(t))));
         fusion_labeled.extend(fusion_onsets.iter().map(|&t| (t, near(t))));
@@ -250,8 +250,7 @@ mod tests {
         );
         if out.threshold_operational.false_answered > 20 {
             assert!(
-                out.fusion_operational.mean_delay_secs
-                    < out.threshold_operational.mean_delay_secs,
+                out.fusion_operational.mean_delay_secs < out.threshold_operational.mean_delay_secs,
                 "{out:?}"
             );
         }

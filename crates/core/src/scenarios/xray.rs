@@ -111,20 +111,16 @@ pub fn run_xray_scenario(config: &XRayScenarioConfig) -> XRayScenarioOutcome {
         "ventilator",
         VentilatorActor::new(Ventilator::new(SimTime::ZERO, config.ventilator), nc_id, ep_vent),
     );
-    let xray_id = sim.add_actor(
-        "xray",
-        XRayActor::new(XRayMachine::new(XRayConfig::default()), nc_id, ep_xray),
-    );
+    let xray_id = sim
+        .add_actor("xray", XRayActor::new(XRayMachine::new(XRayConfig::default()), nc_id, ep_xray));
     let app = XRayCoordinatorApp::new(
         config.style,
         config.exposures,
         config.interval,
         config.pause_duration,
     );
-    let sup_id = sim.add_actor(
-        "supervisor",
-        Supervisor::new(app, nc_id, ep_sup, SimDuration::from_secs(2)),
-    );
+    let sup_id =
+        sim.add_actor("supervisor", Supervisor::new(app, nc_id, ep_sup, SimDuration::from_secs(2)));
     {
         let nc = sim.actor_as_mut::<NetworkController>(nc_id).unwrap();
         nc.bind(ep_vent, vent_id);
@@ -136,9 +132,8 @@ pub fn run_xray_scenario(config: &XRayScenarioConfig) -> XRayScenarioOutcome {
     sim.schedule(SimTime::from_millis(500), sup_id, IceMsg::Tick);
 
     // Generous horizon: every sequence plus slack.
-    let horizon = SimTime::ZERO
-        + config.interval * u64::from(config.exposures)
-        + SimDuration::from_mins(10);
+    let horizon =
+        SimTime::ZERO + config.interval * u64::from(config.exposures) + SimDuration::from_mins(10);
     sim.run_until(horizon);
 
     let sup = sim.actor_as::<Supervisor>(sup_id).expect("supervisor");
@@ -199,10 +194,7 @@ mod tests {
     fn manual_degradation_grows_with_delay() {
         let fast = run_xray_scenario(&XRayScenarioConfig::manual(3, 2.0));
         let slow = run_xray_scenario(&XRayScenarioConfig::manual(3, 12.0));
-        assert!(
-            slow.blur_free_rate() <= fast.blur_free_rate(),
-            "fast {fast:?} vs slow {slow:?}"
-        );
+        assert!(slow.blur_free_rate() <= fast.blur_free_rate(), "fast {fast:?} vs slow {slow:?}");
     }
 
     #[test]

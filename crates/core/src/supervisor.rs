@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 
 use crate::app::{AppCtx, ClinicalApp};
 use crate::manager::{AssociationOutcome, DeviceManager};
-use crate::msg::{IceCommand, IceMsg, NetAddress, NetOp, NetPayload};
+use crate::msg::{IceMsg, NetAddress, NetOp, NetPayload};
 
 /// A monitoring device whose data has not arrived for this long is
 /// considered gone: its slot is vacated so a replacement can associate
@@ -38,9 +38,12 @@ pub struct Supervisor {
     /// Data points dropped because the sender was not associated.
     data_ignored: u64,
     commands_sent: u64,
-    /// Outstanding command send times for RTT measurement (keyed by a
-    /// coarse command tag; good enough for scalar stats).
-    inflight: BTreeMap<&'static str, SimTime>,
+    /// Id for the next outgoing command (unique per supervisor).
+    next_command_id: u64,
+    /// Outstanding command send times for RTT measurement, keyed by
+    /// command id so concurrent commands of the same kind pair with
+    /// their own acks.
+    inflight: BTreeMap<u64, SimTime>,
     rtt: DeadlineTracker,
     associated_at: Option<SimTime>,
 }
@@ -52,18 +55,6 @@ impl std::fmt::Debug for Supervisor {
             .field("commands_sent", &self.commands_sent)
             .field("associated_at", &self.associated_at)
             .finish()
-    }
-}
-
-fn command_tag(c: &IceCommand) -> &'static str {
-    match c {
-        IceCommand::StopPump => "stop",
-        IceCommand::ResumePump => "resume",
-        IceCommand::GrantTicket { .. } => "ticket",
-        IceCommand::PauseVentilation { .. } => "pause-vent",
-        IceCommand::ResumeVentilation => "resume-vent",
-        IceCommand::ArmExposure => "arm",
-        IceCommand::Expose => "expose",
     }
 }
 
@@ -89,6 +80,7 @@ impl Supervisor {
             data_received: 0,
             data_ignored: 0,
             commands_sent: 0,
+            next_command_id: 0,
             inflight: BTreeMap::new(),
             rtt: DeadlineTracker::new(rtt_deadline),
             associated_at: None,
@@ -144,10 +136,7 @@ impl Supervisor {
             let Some(ep) = self.manager.endpoint_for(&slot) else { continue };
             // Only devices that promise data streams are liveness-checked;
             // command-only devices (pumps) are supervised by their acks.
-            let publishes = self
-                .manager
-                .profile_for(&slot)
-                .is_some_and(|p| !p.streams.is_empty());
+            let publishes = self.manager.profile_for(&slot).is_some_and(|p| !p.streams.is_empty());
             if !publishes {
                 continue;
             }
@@ -186,13 +175,15 @@ impl Supervisor {
             match self.manager.endpoint_for(&slot) {
                 Some(ep) => {
                     self.commands_sent += 1;
-                    self.inflight.entry(command_tag(&command)).or_insert(ctx.now());
+                    let id = self.next_command_id;
+                    self.next_command_id += 1;
+                    self.inflight.insert(id, ctx.now());
                     ctx.send(
                         self.netctl,
                         IceMsg::Net(NetOp::Send {
                             from: self.endpoint,
                             to: NetAddress::Endpoint(ep),
-                            payload: NetPayload::Command(command),
+                            payload: NetPayload::Command { id, command },
                         }),
                     );
                 }
@@ -239,13 +230,13 @@ impl Actor<IceMsg> for Supervisor {
                     self.last_data.insert(from, ctx.now());
                     self.drive_app(ctx, |app, actx| app.on_data(actx, kind, value, sampled_at));
                 }
-                NetPayload::Ack { command, applied_at } => {
-                    if let Some(sent) = self.inflight.remove(command_tag(&command)) {
+                NetPayload::Ack { id, command, applied_at } => {
+                    if let Some(sent) = self.inflight.remove(&id) {
                         self.rtt.record(ctx.now().saturating_since(sent));
                     }
                     self.drive_app(ctx, |app, actx| app.on_ack(actx, command, applied_at));
                 }
-                NetPayload::Command(_) => {
+                NetPayload::Command { .. } => {
                     // Supervisors do not accept commands.
                     ctx.trace("app", format!("unexpected command from {from}"));
                 }

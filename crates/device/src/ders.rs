@@ -300,9 +300,9 @@ mod tests {
     fn multiple_violations_reported_together() {
         let lib = DrugLibrary::adult_postop();
         let cfg = PcaPumpConfig {
-            bolus_dose_mg: 2.0,        // soft
-            basal_rate_mg_per_h: 5.0,  // hard
-            max_hourly_mg: 20.0,       // hard
+            bolus_dose_mg: 2.0,       // soft
+            basal_rate_mg_per_h: 5.0, // hard
+            max_hourly_mg: 20.0,      // hard
             ..sane_morphine()
         };
         match lib.check("morphine", &cfg).unwrap() {

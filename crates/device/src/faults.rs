@@ -59,10 +59,7 @@ impl FaultPlan {
 
     /// The active fault at `now`, if any (first match wins).
     pub fn active(&self, now: SimTime) -> Option<FaultKind> {
-        self.faults
-            .iter()
-            .find(|f| f.at <= now && f.until.is_none_or(|u| now < u))
-            .map(|f| f.kind)
+        self.faults.iter().find(|f| f.at <= now && f.until.is_none_or(|u| now < u)).map(|f| f.kind)
     }
 
     /// Whether the device is crashed at `now`.

@@ -72,8 +72,7 @@ impl VitalsMonitor {
         for c in &channels {
             builder = builder.stream(c.kind, sample_period, LatencyClass::Realtime);
         }
-        let sensors =
-            channels.iter().map(|c| SimulatedSensor::new(c.kind, c.sensor)).collect();
+        let sensors = channels.iter().map(|c| SimulatedSensor::new(c.kind, c.sensor)).collect();
         let buffers = channels.iter().map(|_| VecDeque::new()).collect();
         VitalsMonitor {
             profile: builder.build(),
@@ -230,9 +229,7 @@ mod tests {
         let f = healthy_frame();
         let spread = |m: &mut VitalsMonitor, r: &mut mcps_sim::rng::SimRng| {
             let vals: Vec<f64> = (0..500)
-                .filter_map(|i| {
-                    m.sample(SimTime::from_secs(i + 1), &f, r).first().map(|x| x.value)
-                })
+                .filter_map(|i| m.sample(SimTime::from_secs(i + 1), &f, r).first().map(|x| x.value))
                 .collect();
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
             (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt()

@@ -104,7 +104,12 @@ pub struct DeviceProfile {
 
 impl DeviceProfile {
     /// Starts building a profile.
-    pub fn builder(vendor: &str, model: &str, serial: &str, class: DeviceClass) -> DeviceProfileBuilder {
+    pub fn builder(
+        vendor: &str,
+        model: &str,
+        serial: &str,
+        class: DeviceClass,
+    ) -> DeviceProfileBuilder {
         DeviceProfileBuilder {
             profile: DeviceProfile {
                 vendor: vendor.to_owned(),
@@ -251,12 +256,28 @@ mod tests {
     #[test]
     fn stream_matching_respects_rate_and_class() {
         let p = oximeter_profile();
-        assert!(p.provides_stream(VitalKind::Spo2, SimDuration::from_secs(2), LatencyClass::Realtime));
-        assert!(p.provides_stream(VitalKind::Spo2, SimDuration::from_secs(1), LatencyClass::BestEffort));
+        assert!(p.provides_stream(
+            VitalKind::Spo2,
+            SimDuration::from_secs(2),
+            LatencyClass::Realtime
+        ));
+        assert!(p.provides_stream(
+            VitalKind::Spo2,
+            SimDuration::from_secs(1),
+            LatencyClass::BestEffort
+        ));
         // Needs faster than the device publishes: no match.
-        assert!(!p.provides_stream(VitalKind::Spo2, SimDuration::from_millis(100), LatencyClass::Realtime));
+        assert!(!p.provides_stream(
+            VitalKind::Spo2,
+            SimDuration::from_millis(100),
+            LatencyClass::Realtime
+        ));
         // Vital not published at all.
-        assert!(!p.provides_stream(VitalKind::Etco2, SimDuration::from_secs(60), LatencyClass::BestEffort));
+        assert!(!p.provides_stream(
+            VitalKind::Etco2,
+            SimDuration::from_secs(60),
+            LatencyClass::BestEffort
+        ));
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl PcaPumpConfig {
             return Err("bolus_duration must be positive".into());
         }
         if !(self.basal_rate_mg_per_h.is_finite() && self.basal_rate_mg_per_h >= 0.0) {
-            return Err(format!("basal_rate_mg_per_h must be ≥ 0, got {}", self.basal_rate_mg_per_h));
+            return Err(format!(
+                "basal_rate_mg_per_h must be ≥ 0, got {}",
+                self.basal_rate_mg_per_h
+            ));
         }
         if !(self.max_hourly_mg.is_finite() && self.max_hourly_mg > 0.0) {
             return Err(format!("max_hourly_mg must be > 0, got {}", self.max_hourly_mg));
@@ -320,8 +323,7 @@ impl PcaPump {
         for (a, b) in segments {
             // Permission during (a, b) is decided at its start point.
             if !(self.state == PumpState::Running
-                && (!self.config.ticket_mode
-                    || matches!(self.ticket_expiry, Some(t) if a < t)))
+                && (!self.config.ticket_mode || matches!(self.ticket_expiry, Some(t) if a < t)))
             {
                 continue;
             }
@@ -454,10 +456,8 @@ mod tests {
 
     #[test]
     fn basal_accrues_only_while_running() {
-        let mut p = PcaPump::new(PcaPumpConfig {
-            basal_rate_mg_per_h: 1.2,
-            ..PcaPumpConfig::default()
-        });
+        let mut p =
+            PcaPump::new(PcaPumpConfig { basal_rate_mg_per_h: 1.2, ..PcaPumpConfig::default() });
         let d = p.delivered_since_last(t(3600));
         assert!((d - 1.2).abs() < 1e-9);
         p.stop(t(3600), StopReason::Command);
@@ -487,7 +487,7 @@ mod tests {
             ..PcaPumpConfig::default()
         });
         p.grant_ticket(t(0), SimDuration::from_secs(1800)); // 30 min ticket
-        // Integrate a full hour in one call: only the first 30 min flow.
+                                                            // Integrate a full hour in one call: only the first 30 min flow.
         let d = p.delivered_since_last(t(3600));
         assert!((d - 0.5).abs() < 1e-9, "only the ticketed half-hour, got {d}");
         assert!(!p.is_permitted(t(3600)));
@@ -532,10 +532,8 @@ mod tests {
 
     #[test]
     fn time_never_flows_backwards_in_accounting() {
-        let mut p = PcaPump::new(PcaPumpConfig {
-            basal_rate_mg_per_h: 1.0,
-            ..PcaPumpConfig::default()
-        });
+        let mut p =
+            PcaPump::new(PcaPumpConfig { basal_rate_mg_per_h: 1.0, ..PcaPumpConfig::default() });
         p.delivered_since_last(t(100));
         // Older timestamp: must not deliver negative drug or panic.
         let d = p.delivered_since_last(t(50));

@@ -103,7 +103,13 @@ impl Ventilator {
         if let Err(e) = config.validate() {
             panic!("invalid ventilator config: {e}");
         }
-        Ventilator { config, cycle_origin: start, paused: None, pause_log: Vec::new(), auto_resumes: 0 }
+        Ventilator {
+            config,
+            cycle_origin: start,
+            paused: None,
+            pause_log: Vec::new(),
+            auto_resumes: 0,
+        }
     }
 
     /// The settings.
@@ -298,6 +304,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid ventilator config")]
     fn invalid_config_panics() {
-        let _ = Ventilator::new(t(0), VentilatorConfig { rate_bpm: 0.0, ..VentilatorConfig::default() });
+        let _ = Ventilator::new(
+            t(0),
+            VentilatorConfig { rate_bpm: 0.0, ..VentilatorConfig::default() },
+        );
     }
 }

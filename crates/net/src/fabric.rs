@@ -90,6 +90,22 @@ impl LinkStats {
             self.delivered as f64 / self.sent as f64
         }
     }
+
+    /// Writes the link's QoS figures into a [`Telemetry`] bus under
+    /// `prefix` (`{prefix}.sent`, `{prefix}.latency_mean_s`, …), so
+    /// experiment binaries aggregate network statistics through the
+    /// same sink as every other metric.
+    ///
+    /// [`Telemetry`]: mcps_sim::metrics::Telemetry
+    pub fn export_into(&self, bus: &mut mcps_sim::metrics::Telemetry, prefix: &str) {
+        bus.incr(&format!("{prefix}.sent"), self.sent);
+        bus.incr(&format!("{prefix}.delivered"), self.delivered);
+        bus.incr(&format!("{prefix}.dropped"), self.dropped);
+        bus.observe(&format!("{prefix}.delivery_ratio"), self.delivery_ratio());
+        if self.latency.count() > 0 {
+            bus.observe(&format!("{prefix}.latency_mean_s"), self.latency.mean());
+        }
+    }
 }
 
 /// One planned delivery produced by [`Fabric::publish`] or
@@ -316,7 +332,11 @@ mod tests {
     fn outage_drops_everything_in_window() {
         let (mut f, a, b) = two_endpoint_fabric();
         f.set_link(a, b, LinkQos::ideal());
-        f.set_outages(a, b, OutagePlan::none().with_outage(SimTime::from_secs(10), SimTime::from_secs(20)));
+        f.set_outages(
+            a,
+            b,
+            OutagePlan::none().with_outage(SimTime::from_secs(10), SimTime::from_secs(20)),
+        );
         let mut r = rng();
         assert!(f.unicast(a, b, SimTime::from_secs(5), &mut r).is_some());
         assert!(f.unicast(a, b, SimTime::from_secs(15), &mut r).is_none());

@@ -78,11 +78,8 @@ impl LinkQos {
         if bernoulli(rng, self.loss_prob) {
             return Delivery::Dropped;
         }
-        let jitter_s = if self.jitter.is_zero() {
-            0.0
-        } else {
-            normal(rng, 0.0, self.jitter.as_secs_f64())
-        };
+        let jitter_s =
+            if self.jitter.is_zero() { 0.0 } else { normal(rng, 0.0, self.jitter.as_secs_f64()) };
         let delay_s = (self.base_latency.as_secs_f64() + jitter_s).max(0.0);
         Delivery::Deliver { at: now + SimDuration::from_secs_f64(delay_s) }
     }
@@ -154,9 +151,10 @@ mod tests {
         let mut r = rng();
         let q = LinkQos::ideal();
         for _ in 0..100 {
-            assert_eq!(q.sample(SimTime::from_secs(1), &mut r), Delivery::Deliver {
-                at: SimTime::from_secs(1)
-            });
+            assert_eq!(
+                q.sample(SimTime::from_secs(1), &mut r),
+                Delivery::Deliver { at: SimTime::from_secs(1) }
+            );
         }
     }
 

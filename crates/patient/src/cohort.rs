@@ -170,7 +170,11 @@ mod tests {
             let p = g.params(i);
             assert!((45.0..=140.0).contains(&p.weight_kg), "weight {}", p.weight_kg);
             assert!(p.pk.validate().is_ok(), "pk invalid at {i}");
-            assert!(p.physio.validate().is_ok(), "physio invalid at {i}: {:?}", p.physio.validate());
+            assert!(
+                p.physio.validate().is_ok(),
+                "physio invalid at {i}: {:?}",
+                p.physio.validate()
+            );
             assert!(p.physio.apnea_ce > p.physio.ec50_depression, "apnoea margin at {i}");
             assert!((3.0..=9.0).contains(&p.pain_baseline));
         }
@@ -198,7 +202,14 @@ mod tests {
 
     #[test]
     fn sensitive_patients_are_more_sensitive() {
-        let g = CohortGenerator::new(13, CohortConfig { frac_opioid_sensitive: 0.5, frac_sleep_apnea: 0.0, variability_sigma: 0.0 });
+        let g = CohortGenerator::new(
+            13,
+            CohortConfig {
+                frac_opioid_sensitive: 0.5,
+                frac_sleep_apnea: 0.0,
+                variability_sigma: 0.0,
+            },
+        );
         let mut ec_sensitive = Vec::new();
         let mut ec_standard = Vec::new();
         for i in 0..200 {
@@ -218,7 +229,11 @@ mod tests {
     fn bad_config_panics() {
         let _ = CohortGenerator::new(
             0,
-            CohortConfig { frac_opioid_sensitive: 0.9, frac_sleep_apnea: 0.9, variability_sigma: 0.1 },
+            CohortConfig {
+                frac_opioid_sensitive: 0.9,
+                frac_sleep_apnea: 0.9,
+                variability_sigma: 0.1,
+            },
         );
     }
 

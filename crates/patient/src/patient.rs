@@ -154,7 +154,11 @@ impl OutcomeTracker {
             self.analgesia_secs += dt_secs;
         }
 
-        let dwell = |below: bool, run: &mut f64, active: &mut bool, events: &mut u32, secs: Option<&mut f64>| {
+        let dwell = |below: bool,
+                     run: &mut f64,
+                     active: &mut bool,
+                     events: &mut u32,
+                     secs: Option<&mut f64>| {
             if below {
                 *run += dt_secs;
                 if let Some(s) = secs {

@@ -203,9 +203,7 @@ impl PhysioModel {
         let paco2_t = Self::paco2_target_for_mv(&p, mv);
         let pao2_t = Self::pao2_target(&p, self.state.paco2);
         // Exponential relaxation toward the quasi-steady targets.
-        let relax = |x: f64, target: f64, tau: f64| {
-            target + (x - target) * (-dt_min / tau).exp()
-        };
+        let relax = |x: f64, target: f64, tau: f64| target + (x - target) * (-dt_min / tau).exp();
         self.state.paco2 = relax(self.state.paco2, paco2_t, p.tau_co2_min);
         self.state.pao2 = relax(self.state.pao2, pao2_t, p.tau_o2_min);
     }
@@ -352,7 +350,11 @@ mod tests {
         settle(&mut m, 0.3, 10 * 60);
         let v = m.vitals(0.3, 0.0);
         assert!(v.spo2 < 88.0);
-        assert!(v.heart_rate > m.params().hr0, "hypoxic HR {} should exceed baseline", v.heart_rate);
+        assert!(
+            v.heart_rate > m.params().hr0,
+            "hypoxic HR {} should exceed baseline",
+            v.heart_rate
+        );
     }
 
     #[test]

@@ -44,13 +44,7 @@ impl PkParams {
     /// Panics if `weight_kg` is not positive and finite.
     pub fn for_weight_kg(weight_kg: f64) -> Self {
         assert!(weight_kg.is_finite() && weight_kg > 0.0, "weight must be positive");
-        PkParams {
-            k10: 0.07,
-            k12: 0.11,
-            k21: 0.05,
-            ke0: 0.12,
-            v1: 0.18 * weight_kg,
-        }
+        PkParams { k10: 0.07, k12: 0.11, k21: 0.05, ke0: 0.12, v1: 0.18 * weight_kg }
     }
 
     /// Validates that every parameter is positive and finite.

@@ -235,8 +235,7 @@ mod tests {
         let vals: Vec<f64> =
             (0..5_000).map(|i| s.read(i as f64, 1.0, 80.0, &mut r).value.unwrap()).collect();
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-        let std =
-            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt();
+        let std = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt();
         assert!((mean - 80.0).abs() < 0.2, "mean {mean}");
         assert!((std - 2.0).abs() < 0.3, "std {std}");
     }
@@ -293,10 +292,7 @@ mod tests {
 
     #[test]
     fn readings_clamped_to_plausible_range() {
-        let spec = SensorSpec {
-            bias: 50.0,
-            ..SensorSpec::ideal()
-        };
+        let spec = SensorSpec { bias: 50.0, ..SensorSpec::ideal() };
         let mut s = SimulatedSensor::new(VitalKind::Spo2, spec);
         let mut r = rng();
         let out = s.read(0.0, 1.0, 97.0, &mut r);

@@ -14,9 +14,7 @@ use std::fmt;
 ///
 /// Ids are dense indices assigned in registration order; they are only
 /// meaningful within the simulation that issued them.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ActorId(u32);
 
 impl ActorId {
@@ -67,7 +65,7 @@ impl<T: Any> AsAny for T {
 /// messages (to themselves or to other actors).
 ///
 /// ```
-/// use mcps_sim::prelude::*;
+/// use mcps_runtime::prelude::*;
 ///
 /// struct Counter { n: u64 }
 ///

@@ -1,0 +1,163 @@
+//! Actor storage and message dispatch: the delivery half of the kernel.
+//!
+//! [`Executor`] owns the actor slab, per-actor deterministic RNG
+//! streams and the [`RngFactory`] they derive from. It delivers events
+//! popped from a [`Scheduler`] by handing each actor a [`Context`]
+//! scoped to the current instant.
+
+use crate::actor::{Actor, ActorId};
+use crate::rng::{RngFactory, SimRng};
+use crate::scheduler::{Scheduled, Scheduler};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceLog;
+
+/// The capabilities an [`Actor`] may use while handling a message.
+///
+/// A `Context` is handed to [`Actor::handle`] and borrows the mutable
+/// pieces of the running kernel: the scheduler (for sends and stop
+/// control), the trace log and the actor's own RNG stream.
+pub struct Context<'a, M> {
+    now: SimTime,
+    self_id: ActorId,
+    sched: &'a mut Scheduler<M>,
+    trace: &'a mut TraceLog,
+    rng: &'a mut SimRng,
+}
+
+impl<M> Context<'_, M> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the actor currently handling a message.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// The handling actor's private deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Delivers `msg` to `target` at the current time, after all events
+    /// already queued for this instant.
+    pub fn send(&mut self, target: ActorId, msg: M) {
+        self.schedule_at(self.now, target, msg);
+    }
+
+    /// Delivers `msg` to `target` after `delay`.
+    pub fn schedule(&mut self, delay: SimDuration, target: ActorId, msg: M) {
+        self.schedule_at(self.now.saturating_add(delay), target, msg);
+    }
+
+    /// Delivers `msg` to the handling actor itself after `delay`.
+    pub fn schedule_self(&mut self, delay: SimDuration, msg: M) {
+        self.schedule(delay, self.self_id, msg);
+    }
+
+    /// Delivers `msg` to `target` at absolute time `at` (clamped to the
+    /// present if `at` is in the past).
+    pub fn schedule_at(&mut self, at: SimTime, target: ActorId, msg: M) {
+        self.sched.schedule_at(at, target, msg);
+    }
+
+    /// Appends a record to the simulation trace, attributed to this
+    /// actor at the current time.
+    pub fn trace(&mut self, category: &str, message: impl Into<String>) {
+        self.trace.push(self.now, self.self_id, category, message);
+    }
+
+    /// Requests that the simulation stop after the current event.
+    pub fn stop(&mut self) {
+        self.sched.request_stop();
+    }
+}
+
+/// The actor-slab half of the simulation kernel.
+pub struct Executor<M> {
+    actors: Vec<Option<Box<dyn Actor<M>>>>,
+    names: Vec<String>,
+    rngs: Vec<SimRng>,
+    rng_factory: RngFactory,
+}
+
+impl<M> std::fmt::Debug for Executor<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor").field("actors", &self.actors.len()).finish()
+    }
+}
+
+impl<M: 'static> Executor<M> {
+    /// Creates an empty executor whose randomness derives from
+    /// `master_seed`.
+    pub fn new(master_seed: u64) -> Self {
+        Executor {
+            actors: Vec::new(),
+            names: Vec::new(),
+            rngs: Vec::new(),
+            rng_factory: RngFactory::new(master_seed),
+        }
+    }
+
+    /// Registers an actor and returns its id. The actor's RNG stream is
+    /// derived from the master seed and `name`, so renaming an actor —
+    /// not reordering registration — is what changes its randomness.
+    pub fn add_actor(&mut self, name: &str, actor: impl Actor<M>) -> ActorId {
+        let id = ActorId::from_index(
+            u32::try_from(self.actors.len()).expect("more than u32::MAX actors"),
+        );
+        self.actors.push(Some(Box::new(actor)));
+        self.names.push(name.to_owned());
+        self.rngs.push(self.rng_factory.stream(name));
+        id
+    }
+
+    /// The registered name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this executor.
+    pub fn actor_name(&self, id: ActorId) -> &str {
+        &self.names[id.index() as usize]
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Immutable access to an actor's concrete state.
+    ///
+    /// Returns `None` if the id is unknown, the actor is currently being
+    /// dispatched, or the concrete type is not `T`.
+    pub fn actor_as<T: 'static>(&self, id: ActorId) -> Option<&T> {
+        self.actors.get(id.index() as usize)?.as_ref()?.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable access to an actor's concrete state (see [`Self::actor_as`]).
+    pub fn actor_as_mut<T: 'static>(&mut self, id: ActorId) -> Option<&mut T> {
+        self.actors.get_mut(id.index() as usize)?.as_mut()?.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// The RNG factory, for deriving extra streams outside the actors.
+    pub fn rng_factory(&self) -> RngFactory {
+        self.rng_factory
+    }
+
+    /// Delivers one event to its target actor, giving it a [`Context`]
+    /// over `sched` and `trace`. Events addressed to unknown ids are
+    /// dropped silently (unreachable through the public kernel API).
+    pub fn dispatch(&mut self, ev: Scheduled<M>, sched: &mut Scheduler<M>, trace: &mut TraceLog) {
+        let idx = ev.target.index() as usize;
+        // Take the actor out of its slot so Context can borrow the rest
+        // of the kernel mutably during dispatch.
+        let Some(mut actor) = self.actors.get_mut(idx).and_then(Option::take) else {
+            return;
+        };
+        let mut ctx =
+            Context { now: ev.at, self_id: ev.target, sched, trace, rng: &mut self.rngs[idx] };
+        actor.handle(ev.msg, &mut ctx);
+        self.actors[idx] = Some(actor);
+    }
+}

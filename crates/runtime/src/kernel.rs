@@ -1,132 +1,67 @@
 //! The discrete-event simulation executive.
 //!
-//! [`Simulation`] owns a set of [`Actor`]s, a time-ordered event queue,
-//! a [`TraceLog`] and a family of deterministic RNG streams. Events with
-//! equal timestamps are delivered in scheduling order (FIFO), which —
-//! together with seeded RNG streams — makes every run bit-reproducible.
+//! [`Simulation`] joins a [`Scheduler`] (event queue, clock, stop
+//! control) and an [`Executor`] (actor slab, dispatch, RNG streams)
+//! behind the classic kernel API. Events with equal timestamps are
+//! delivered in scheduling order (FIFO), which — together with seeded
+//! RNG streams — makes every run bit-reproducible. Same-instant
+//! cascades are delivered through the scheduler's batch, avoiding
+//! per-event heap churn on the hot path.
 
 use crate::actor::{Actor, ActorId};
-use crate::rng::{RngFactory, SimRng};
+use crate::executor::Executor;
+use crate::rng::RngFactory;
+use crate::scheduler::Scheduler;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceLog;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
-struct Scheduled<M> {
-    at: SimTime,
-    seq: u64,
-    target: ActorId,
-    msg: M,
-}
+pub use crate::executor::Context;
 
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Scheduled<M> {
-    // Reversed so the BinaryHeap pops the *earliest* event first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
-/// The capabilities an [`Actor`] may use while handling a message.
-///
-/// A `Context` is handed to [`Actor::handle`] and borrows the mutable
-/// pieces of the running [`Simulation`]: the event queue, the trace log
-/// and the actor's own RNG stream.
-pub struct Context<'a, M> {
-    now: SimTime,
-    self_id: ActorId,
-    queue: &'a mut BinaryHeap<Scheduled<M>>,
-    seq: &'a mut u64,
-    trace: &'a mut TraceLog,
-    rng: &'a mut SimRng,
-    stop: &'a mut bool,
-}
-
-impl<'a, M> Context<'a, M> {
+/// The minimal surface a simulation driver needs: a clock, single-step
+/// dispatch and bounded runs. [`Simulation`] is the standard
+/// implementation; alternative runtimes (e.g. instrumented or
+/// co-simulated kernels) can wrap one and interpose on `step`.
+pub trait Runtime<M> {
     /// Current simulation time.
-    pub fn now(&self) -> SimTime {
-        self.now
+    fn now(&self) -> SimTime;
+
+    /// Total events dispatched so far.
+    fn events_processed(&self) -> u64;
+
+    /// Dispatches the next event, if any. Returns `false` when the
+    /// queue is empty or a stop was requested.
+    fn step(&mut self) -> bool;
+
+    /// Runs until the queue drains or a stop is requested. Returns the
+    /// number of events processed by this call.
+    fn run(&mut self) -> u64 {
+        let before = self.events_processed();
+        while self.step() {}
+        self.events_processed() - before
     }
 
-    /// The id of the actor currently handling a message.
-    pub fn self_id(&self) -> ActorId {
-        self.self_id
-    }
-
-    /// The handling actor's private deterministic RNG stream.
-    pub fn rng(&mut self) -> &mut SimRng {
-        self.rng
-    }
-
-    /// Delivers `msg` to `target` at the current time, after all events
-    /// already queued for this instant.
-    pub fn send(&mut self, target: ActorId, msg: M) {
-        self.schedule_at(self.now, target, msg);
-    }
-
-    /// Delivers `msg` to `target` after `delay`.
-    pub fn schedule(&mut self, delay: SimDuration, target: ActorId, msg: M) {
-        self.schedule_at(self.now.saturating_add(delay), target, msg);
-    }
-
-    /// Delivers `msg` to the handling actor itself after `delay`.
-    pub fn schedule_self(&mut self, delay: SimDuration, msg: M) {
-        self.schedule(delay, self.self_id, msg);
-    }
-
-    /// Delivers `msg` to `target` at absolute time `at` (clamped to the
-    /// present if `at` is in the past).
-    pub fn schedule_at(&mut self, at: SimTime, target: ActorId, msg: M) {
-        let at = at.max(self.now);
-        let seq = *self.seq;
-        *self.seq += 1;
-        self.queue.push(Scheduled { at, seq, target, msg });
-    }
-
-    /// Appends a record to the simulation trace, attributed to this
-    /// actor at the current time.
-    pub fn trace(&mut self, category: &str, message: impl Into<String>) {
-        self.trace.push(self.now, self.self_id, category, message);
-    }
-
-    /// Requests that the simulation stop after the current event.
-    pub fn stop(&mut self) {
-        *self.stop = true;
-    }
+    /// Runs until `deadline` (inclusive), the queue drains, or a stop
+    /// is requested. On return, `now()` is exactly `deadline` unless
+    /// the run stopped early. Returns the number of events processed.
+    fn run_until(&mut self, deadline: SimTime) -> u64;
 }
 
 /// A deterministic discrete-event simulation over message type `M`.
 ///
 /// See the [`Actor`] docs for a complete usage example.
 pub struct Simulation<M> {
-    actors: Vec<Option<Box<dyn Actor<M>>>>,
-    names: Vec<String>,
-    rngs: Vec<SimRng>,
-    queue: BinaryHeap<Scheduled<M>>,
-    seq: u64,
-    now: SimTime,
+    scheduler: Scheduler<M>,
+    executor: Executor<M>,
     trace: TraceLog,
-    rng_factory: RngFactory,
-    stop: bool,
     events_processed: u64,
 }
 
-impl<M> std::fmt::Debug for Simulation<M> {
+impl<M: 'static> std::fmt::Debug for Simulation<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
-            .field("actors", &self.actors.len())
-            .field("now", &self.now)
-            .field("pending", &self.queue.len())
+            .field("actors", &self.executor.actor_count())
+            .field("now", &self.scheduler.now())
+            .field("pending", &self.scheduler.pending())
             .field("events_processed", &self.events_processed)
             .finish()
     }
@@ -137,15 +72,9 @@ impl<M: 'static> Simulation<M> {
     /// `master_seed`.
     pub fn new(master_seed: u64) -> Self {
         Simulation {
-            actors: Vec::new(),
-            names: Vec::new(),
-            rngs: Vec::new(),
-            queue: BinaryHeap::new(),
-            seq: 0,
-            now: SimTime::ZERO,
+            scheduler: Scheduler::new(),
+            executor: Executor::new(master_seed),
             trace: TraceLog::default(),
-            rng_factory: RngFactory::new(master_seed),
-            stop: false,
             events_processed: 0,
         }
     }
@@ -154,13 +83,7 @@ impl<M: 'static> Simulation<M> {
     /// derived from the master seed and `name`, so renaming an actor —
     /// not reordering registration — is what changes its randomness.
     pub fn add_actor(&mut self, name: &str, actor: impl Actor<M>) -> ActorId {
-        let id = ActorId::from_index(
-            u32::try_from(self.actors.len()).expect("more than u32::MAX actors"),
-        );
-        self.actors.push(Some(Box::new(actor)));
-        self.names.push(name.to_owned());
-        self.rngs.push(self.rng_factory.stream(name));
-        id
+        self.executor.add_actor(name, actor)
     }
 
     /// The registered name of `id`.
@@ -169,12 +92,12 @@ impl<M: 'static> Simulation<M> {
     ///
     /// Panics if `id` was not issued by this simulation.
     pub fn actor_name(&self, id: ActorId) -> &str {
-        &self.names[id.index() as usize]
+        self.executor.actor_name(id)
     }
 
     /// Number of registered actors.
     pub fn actor_count(&self) -> usize {
-        self.actors.len()
+        self.executor.actor_count()
     }
 
     /// Immutable access to an actor's concrete state.
@@ -182,39 +105,38 @@ impl<M: 'static> Simulation<M> {
     /// Returns `None` if the id is unknown, the actor is currently being
     /// dispatched, or the concrete type is not `T`.
     pub fn actor_as<T: 'static>(&self, id: ActorId) -> Option<&T> {
-        self.actors
-            .get(id.index() as usize)?
-            .as_ref()?
-            .as_any()
-            .downcast_ref::<T>()
+        self.executor.actor_as(id)
     }
 
     /// Mutable access to an actor's concrete state (see [`Self::actor_as`]).
     pub fn actor_as_mut<T: 'static>(&mut self, id: ActorId) -> Option<&mut T> {
-        self.actors
-            .get_mut(id.index() as usize)?
-            .as_mut()?
-            .as_any_mut()
-            .downcast_mut::<T>()
+        self.executor.actor_as_mut(id)
+    }
+
+    /// The scheduler half of the kernel.
+    pub fn scheduler(&self) -> &Scheduler<M> {
+        &self.scheduler
+    }
+
+    /// The executor half of the kernel.
+    pub fn executor(&self) -> &Executor<M> {
+        &self.executor
     }
 
     /// Schedules `msg` for `target` at absolute time `at` (clamped to
     /// the present).
     pub fn schedule(&mut self, at: SimTime, target: ActorId, msg: M) {
-        let at = at.max(self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Scheduled { at, seq, target, msg });
+        self.scheduler.schedule_at(at, target, msg);
     }
 
     /// Schedules `msg` for `target` after `delay` from now.
     pub fn schedule_after(&mut self, delay: SimDuration, target: ActorId, msg: M) {
-        self.schedule(self.now.saturating_add(delay), target, msg);
+        self.scheduler.schedule_after(delay, target, msg);
     }
 
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.scheduler.now()
     }
 
     /// Number of events dispatched so far.
@@ -224,7 +146,7 @@ impl<M: 'static> Simulation<M> {
 
     /// Number of events still queued.
     pub fn pending_events(&self) -> usize {
-        self.queue.len()
+        self.scheduler.pending()
     }
 
     /// The trace log.
@@ -239,46 +161,21 @@ impl<M: 'static> Simulation<M> {
 
     /// The RNG factory, for deriving extra streams outside the actors.
     pub fn rng_factory(&self) -> RngFactory {
-        self.rng_factory
+        self.executor.rng_factory()
     }
 
     /// Whether an actor has requested a stop.
     pub fn is_stopped(&self) -> bool {
-        self.stop
+        self.scheduler.is_stopped()
     }
 
     /// Dispatches the next event, if any. Returns `false` when the queue
     /// is empty or a stop was requested.
     pub fn step(&mut self) -> bool {
-        if self.stop {
-            return false;
-        }
-        let Some(ev) = self.queue.pop() else {
+        let Some(ev) = self.scheduler.pop_due() else {
             return false;
         };
-        debug_assert!(ev.at >= self.now, "event queue went backwards");
-        self.now = ev.at;
-        let idx = ev.target.index() as usize;
-        // Take the actor out of its slot so Context can borrow the rest
-        // of the simulation mutably during dispatch.
-        let mut actor = match self.actors.get_mut(idx).and_then(Option::take) {
-            Some(a) => a,
-            // Message to an unknown/busy actor: dropped silently. This
-            // cannot happen through the public API (ids are only issued
-            // by add_actor, and dispatch is not reentrant).
-            None => return true,
-        };
-        let mut ctx = Context {
-            now: self.now,
-            self_id: ev.target,
-            queue: &mut self.queue,
-            seq: &mut self.seq,
-            trace: &mut self.trace,
-            rng: &mut self.rngs[idx],
-            stop: &mut self.stop,
-        };
-        actor.handle(ev.msg, &mut ctx);
-        self.actors[idx] = Some(actor);
+        self.executor.dispatch(ev, &mut self.scheduler, &mut self.trace);
         self.events_processed += 1;
         true
     }
@@ -296,18 +193,40 @@ impl<M: 'static> Simulation<M> {
     /// run stopped early. Returns the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let before = self.events_processed;
-        while !self.stop {
-            match self.queue.peek() {
-                Some(ev) if ev.at <= deadline => {
+        while !self.scheduler.is_stopped() {
+            match self.scheduler.next_event_time() {
+                Some(t) if t <= deadline => {
                     self.step();
                 }
                 _ => break,
             }
         }
-        if !self.stop && self.now < deadline {
-            self.now = deadline;
+        if !self.scheduler.is_stopped() && self.now() < deadline {
+            self.scheduler.advance_to(deadline);
         }
         self.events_processed - before
+    }
+}
+
+impl<M: 'static> Runtime<M> for Simulation<M> {
+    fn now(&self) -> SimTime {
+        Simulation::now(self)
+    }
+
+    fn events_processed(&self) -> u64 {
+        Simulation::events_processed(self)
+    }
+
+    fn step(&mut self) -> bool {
+        Simulation::step(self)
+    }
+
+    fn run(&mut self) -> u64 {
+        Simulation::run(self)
+    }
+
+    fn run_until(&mut self, deadline: SimTime) -> u64 {
+        Simulation::run_until(self, deadline)
     }
 }
 
@@ -411,6 +330,37 @@ mod tests {
     }
 
     #[test]
+    fn same_instant_cascade_preserves_fifo_across_batch() {
+        // A forwarder that re-sends each message to a sink at the *same*
+        // instant: forwarded copies must land after every pre-queued
+        // event for that instant, in original order.
+        struct Forwarder {
+            sink: ActorId,
+        }
+        impl Actor<u32> for Forwarder {
+            fn handle(&mut self, msg: u32, ctx: &mut Context<'_, u32>) {
+                ctx.send(self.sink, msg + 100);
+            }
+        }
+        struct Sink {
+            seen: Vec<u32>,
+        }
+        impl Actor<u32> for Sink {
+            fn handle(&mut self, msg: u32, _ctx: &mut Context<'_, u32>) {
+                self.seen.push(msg);
+            }
+        }
+        let mut sim = Simulation::new(0);
+        let sink = sim.add_actor("sink", Sink { seen: vec![] });
+        let fwd = sim.add_actor("fwd", Forwarder { sink });
+        sim.schedule(SimTime::from_secs(1), fwd, 1);
+        sim.schedule(SimTime::from_secs(1), sink, 2);
+        sim.schedule(SimTime::from_secs(1), fwd, 3);
+        sim.run();
+        assert_eq!(sim.actor_as::<Sink>(sink).unwrap().seen, vec![2, 101, 103]);
+    }
+
+    #[test]
     fn determinism_across_runs() {
         let trace_a: Vec<String> = {
             let (mut sim, _, _) = build();
@@ -484,5 +434,17 @@ mod tests {
         let (sim, pinger, _) = build();
         assert!(sim.actor_as::<Ponger>(pinger).is_none());
         assert!(sim.actor_as::<Pinger>(ActorId::from_index(99)).is_none());
+    }
+
+    #[test]
+    fn runtime_trait_object_drives_the_sim() {
+        let (mut sim, _, ponger) = build();
+        {
+            let rt: &mut dyn Runtime<Msg> = &mut sim;
+            rt.run_until(SimTime::from_millis(25));
+            assert_eq!(rt.now(), SimTime::from_millis(25));
+            assert!(rt.events_processed() > 0);
+        }
+        assert_eq!(sim.actor_as::<Ponger>(ponger).unwrap().received, 2);
     }
 }

@@ -7,7 +7,7 @@
 //! streams exist or in which order they are created.
 //!
 //! ```
-//! use mcps_sim::rng::RngFactory;
+//! use mcps_runtime::rng::RngFactory;
 //! use rand::Rng;
 //!
 //! let factory = RngFactory::new(42);

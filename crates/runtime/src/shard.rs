@@ -1,0 +1,128 @@
+//! Deterministic shard-parallel execution.
+//!
+//! [`run_shards`] fans a list of independent work items (shards) out
+//! across OS threads and returns results **in input order**, so the
+//! merged output of a parallel run is byte-identical to running the
+//! shards serially. The rules that make this sound:
+//!
+//! 1. **Seed isolation** — each shard must derive all randomness from
+//!    its own item (typically a per-shard seed); shards must not share
+//!    mutable state or global RNGs.
+//! 2. **No wall-clock or thread-identity inputs** — shard output must
+//!    be a pure function of the item.
+//! 3. **Order-indexed results** — results are written into a slot per
+//!    input index; completion order never affects output order.
+//!
+//! Under those rules, `run_shards(items, f)` is observationally
+//! equivalent to `items.into_iter().map(f).collect()` — verified by
+//! property tests at the workspace level — while using one thread per
+//! core. Telemetry from shards should be collected per-shard and
+//! folded with [`Telemetry::merge`](crate::telemetry::Telemetry::merge)
+//! after the join, which keeps the merged bus deterministic too.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `items` using up to one worker thread per core,
+/// returning results in input order.
+///
+/// Work is pulled from a shared index counter, so long shards don't
+/// serialize behind short ones regardless of their position in the
+/// input. Falls back to a plain serial map when there is one item or
+/// one core.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after all workers finish.
+pub fn run_shards<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = workers.min(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let n = items.len();
+    // Hand each worker items by index through a shared cursor; results
+    // land in the slot matching their input index.
+    let work: Vec<Mutex<Option<T>>> =
+        items.into_iter().map(|item| Mutex::new(Some(item))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let item = work[idx]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("work item taken twice");
+                let result = f(item);
+                *slots[idx].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without producing a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = run_shards((0..64u64).collect(), |i| i * 2);
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(run_shards(empty, |x: u32| x).is_empty());
+        assert_eq!(run_shards(vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn matches_serial_map() {
+        // The determinism contract: parallel output equals serial map.
+        let items: Vec<u64> = (0..40).collect();
+        let serial: Vec<u64> = items.iter().map(|&s| splitmix(s)).collect();
+        let parallel = run_shards(items, splitmix);
+        assert_eq!(serial, parallel);
+    }
+
+    fn splitmix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E3779B97F4A7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        x ^ (x >> 31)
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        // Early items take longest; a naive chunking or completion-order
+        // collect would misorder these.
+        let out = run_shards((0..16u64).collect(), |i| {
+            std::thread::sleep(std::time::Duration::from_millis(16 - i));
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+}

@@ -5,7 +5,7 @@
 //! trace post-processing). Experiments then reduce series to
 //! [`Summary`] rows.
 
-use crate::stats::Summary;
+use super::stats::Summary;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -34,6 +34,19 @@ impl TimeSeries {
             "time series recorded out of order"
         );
         self.points.push((at, value));
+    }
+
+    /// Inserts an observation that may precede already-recorded points,
+    /// keeping the series sorted by time. Ties insert *after* existing
+    /// equal-time points, so merging shard series is stable. Used by
+    /// telemetry merge; prefer [`TimeSeries::record`] during a run.
+    pub fn record_unordered(&mut self, at: SimTime, value: f64) {
+        let idx = self.points.partition_point(|(t, _)| *t <= at);
+        if idx == self.points.len() {
+            self.points.push((at, value));
+        } else {
+            self.points.insert(idx, (at, value));
+        }
     }
 
     /// All points in time order.
@@ -188,9 +201,8 @@ mod tests {
     fn time_fraction_basic() {
         // value 1.0 on [0,10), 3.0 on [10,20]
         let s = ts(&[(0, 1.0), (10, 3.0)]);
-        let frac = s
-            .time_fraction_where(SimTime::ZERO, SimTime::from_secs(20), |v| v > 2.0)
-            .unwrap();
+        let frac =
+            s.time_fraction_where(SimTime::ZERO, SimTime::from_secs(20), |v| v > 2.0).unwrap();
         assert!((frac - 0.5).abs() < 1e-9);
     }
 
@@ -208,7 +220,9 @@ mod tests {
         let s = TimeSeries::new();
         assert!(s.time_fraction_where(SimTime::ZERO, SimTime::from_secs(1), |_| true).is_none());
         let s = ts(&[(0, 1.0)]);
-        assert!(s.time_fraction_where(SimTime::from_secs(2), SimTime::from_secs(2), |_| true).is_none());
+        assert!(s
+            .time_fraction_where(SimTime::from_secs(2), SimTime::from_secs(2), |_| true)
+            .is_none());
     }
 
     #[test]

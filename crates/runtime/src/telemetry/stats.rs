@@ -29,7 +29,16 @@ impl Summary {
     pub fn from_values(values: &[f64]) -> Self {
         let mut xs: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
         if xs.is_empty() {
-            return Summary { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, median: 0.0, p95: 0.0, p99: 0.0 };
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
         }
         xs.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
         let n = xs.len();

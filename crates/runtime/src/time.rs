@@ -10,7 +10,7 @@
 //! * [`SimDuration`] — a span between instants.
 //!
 //! ```
-//! use mcps_sim::time::{SimTime, SimDuration};
+//! use mcps_runtime::time::{SimTime, SimDuration};
 //!
 //! let t = SimTime::ZERO + SimDuration::from_secs(2);
 //! assert_eq!(t + SimDuration::from_millis(500), SimTime::from_millis(2500));

@@ -71,7 +71,13 @@ impl TraceLog {
     }
 
     /// Appends a record.
-    pub fn push(&mut self, at: SimTime, actor: ActorId, category: &str, message: impl Into<String>) {
+    pub fn push(
+        &mut self,
+        at: SimTime,
+        actor: ActorId,
+        category: &str,
+        message: impl Into<String>,
+    ) {
         if !self.enabled {
             return;
         }

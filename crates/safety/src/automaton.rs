@@ -58,7 +58,10 @@ impl Guard {
     pub fn max_constant(&self, clock: ClockId) -> u32 {
         match self {
             Guard::True => 0,
-            Guard::Ge(c, b) | Guard::Gt(c, b) | Guard::Le(c, b) | Guard::Lt(c, b)
+            Guard::Ge(c, b)
+            | Guard::Gt(c, b)
+            | Guard::Le(c, b)
+            | Guard::Lt(c, b)
             | Guard::Eq(c, b) => {
                 if *c == clock {
                     *b
@@ -200,11 +203,17 @@ impl Automaton {
         }
         for e in &self.edges {
             if e.from.0 >= self.locations.len() || e.to.0 >= self.locations.len() {
-                return Err(format!("automaton {}: edge {} references unknown location", self.name, e.label));
+                return Err(format!(
+                    "automaton {}: edge {} references unknown location",
+                    self.name, e.label
+                ));
             }
             for r in &e.resets {
                 if r.0 >= self.clocks.len() {
-                    return Err(format!("automaton {}: edge {} resets unknown clock", self.name, e.label));
+                    return Err(format!(
+                        "automaton {}: edge {} resets unknown clock",
+                        self.name, e.label
+                    ));
                 }
             }
         }

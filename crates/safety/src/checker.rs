@@ -268,9 +268,7 @@ impl Network {
                         continue;
                     }
                     for e2 in b.edges() {
-                        if e2.action == Action::Recv(chan.clone())
-                            && self.edge_enabled(j, e2, s)
-                        {
+                        if e2.action == Action::Recv(chan.clone()) && self.edge_enabled(j, e2, s) {
                             let mid = self.apply_edge(i, e, s);
                             let next = self.apply_edge(j, e2, &mid);
                             out.push((
@@ -324,7 +322,13 @@ impl Network {
         bad: impl Fn(&StateView<'_>) -> bool,
         max_states: usize,
     ) -> CheckOutcome {
-        self.explore(max_states, |view, _| if bad(view) { MonitorVerdict::Bad } else { MonitorVerdict::Ok(None) })
+        self.explore(max_states, |view, _| {
+            if bad(view) {
+                MonitorVerdict::Bad
+            } else {
+                MonitorVerdict::Ok(None)
+            }
+        })
     }
 
     /// Checks "whenever `p` holds, `q` holds within `deadline` time
@@ -473,10 +477,8 @@ mod tests {
     fn safety_holds_on_simple_network() {
         let net = lamp_network(5);
         // The lamp can never be on with x > 5 (invariant forbids it).
-        let out = net.check_safety(
-            |v| v.in_location("lamp", "On") && v.clock("lamp", "x") > 5,
-            100_000,
-        );
+        let out =
+            net.check_safety(|v| v.in_location("lamp", "On") && v.clock("lamp", "x") > 5, 100_000);
         assert!(out.holds(), "{out:?}");
     }
 

@@ -370,7 +370,10 @@ mod tests {
         // Attach under the strategy but give it no evidence.
         ac.supported_by(NodeId(1), g3);
         let issues = ac.validate();
-        assert!(issues.iter().any(|i| matches!(i, GsnIssue::UndevelopedGoal(l) if l == "G3")), "{issues:?}");
+        assert!(
+            issues.iter().any(|i| matches!(i, GsnIssue::UndevelopedGoal(l) if l == "G3")),
+            "{issues:?}"
+        );
     }
 
     #[test]
@@ -379,7 +382,10 @@ mod tests {
         let lonely = ac.solution("Sn9", "unused evidence");
         let _ = lonely;
         let issues = ac.validate();
-        assert!(issues.iter().any(|i| matches!(i, GsnIssue::Orphan(l) if l == "Sn9")), "{issues:?}");
+        assert!(
+            issues.iter().any(|i| matches!(i, GsnIssue::Orphan(l) if l == "Sn9")),
+            "{issues:?}"
+        );
     }
 
     #[test]
@@ -402,7 +408,10 @@ mod tests {
         ac.supported_by(sn, g1);
         ac.supported_by(g1, sn);
         let issues = ac.validate();
-        assert!(issues.iter().any(|i| matches!(i, GsnIssue::BadEdge(a, _) if a == "Sn1")), "{issues:?}");
+        assert!(
+            issues.iter().any(|i| matches!(i, GsnIssue::BadEdge(a, _) if a == "Sn1")),
+            "{issues:?}"
+        );
     }
 
     #[test]

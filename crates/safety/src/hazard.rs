@@ -213,15 +213,19 @@ pub fn pca_hazard_log() -> HazardLog {
     let mut log = HazardLog::new();
     log.add(Hazard {
         id: "H1".into(),
-        description: "Opioid overdose from dose stacking (PCA-by-proxy or misprogrammed basal)".into(),
-        cause: "Demands issued while patient already sedated; pump cannot observe the patient".into(),
+        description: "Opioid overdose from dose stacking (PCA-by-proxy or misprogrammed basal)"
+            .into(),
+        cause: "Demands issued while patient already sedated; pump cannot observe the patient"
+            .into(),
         severity: Severity::Catastrophic,
         initial_likelihood: Likelihood::Occasional,
         mitigations: vec![
             Mitigation {
-                description: "Closed-loop safety interlock stops pump on respiratory depression".into(),
+                description: "Closed-loop safety interlock stops pump on respiratory depression"
+                    .into(),
                 residual_likelihood: Likelihood::Improbable,
-                evidence: "E1 cohort study; E5 model-checking (CommandReliable, TicketLossy)".into(),
+                evidence: "E1 cohort study; E5 model-checking (CommandReliable, TicketLossy)"
+                    .into(),
             },
             Mitigation {
                 description: "Hourly dose hard limit in pump firmware".into(),
@@ -273,7 +277,8 @@ pub fn pca_hazard_log() -> HazardLog {
         severity: Severity::Serious,
         initial_likelihood: Likelihood::Occasional,
         mitigations: vec![Mitigation {
-            description: "ICE-coordinated pause/expose/resume with device-enforced max pause".into(),
+            description: "ICE-coordinated pause/expose/resume with device-enforced max pause"
+                .into(),
             residual_likelihood: Likelihood::Improbable,
             evidence: "E3 coordination study; ventilator auto-resume unit tests".into(),
         }],

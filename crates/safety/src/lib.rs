@@ -43,10 +43,10 @@ pub mod hazard;
 pub mod models;
 pub mod requirements;
 
+pub use assurance::build_assurance_case;
 pub use automaton::{Action, Automaton, ClockId, Guard, LocId};
 pub use checker::{CheckOutcome, Network, StateView, Step, Trace};
 pub use executor::{AutomatonExecutor, ExecEvent, NotEnabled};
-pub use assurance::build_assurance_case;
 pub use gsn::{AssuranceCase, GsnIssue, NodeId, NodeKind};
 pub use hazard::{classify, Hazard, HazardLog, Likelihood, Mitigation, RiskClass, Severity};
 pub use models::PcaModelVariant;

@@ -71,10 +71,10 @@ impl PcaModelVariant {
     pub fn description(&self) -> &'static str {
         match self {
             PcaModelVariant::CommandReliable => "command interlock, reliable network (correct)",
-            PcaModelVariant::CommandLossy => "command interlock, lossy network (defect: no fail-safe)",
-            PcaModelVariant::PumpIgnoresStopDuringBolus => {
-                "mutant: pump ignores stop during bolus"
+            PcaModelVariant::CommandLossy => {
+                "command interlock, lossy network (defect: no fail-safe)"
             }
+            PcaModelVariant::PumpIgnoresStopDuringBolus => "mutant: pump ignores stop during bolus",
             PcaModelVariant::SupervisorUnbounded => {
                 "mutant: supervisor processing deadline not enforced"
             }
@@ -214,7 +214,14 @@ fn pump_ticket() -> Automaton {
     let running = b.location("Running");
     let stopped = b.location("Stopped");
     b.invariant(running, Guard::Le(t, TICKET_VALIDITY));
-    b.edge("ticket_rx", running, running, Guard::Lt(t, TICKET_VALIDITY), Action::Recv("ticket_d".into()), vec![t]);
+    b.edge(
+        "ticket_rx",
+        running,
+        running,
+        Guard::Lt(t, TICKET_VALIDITY),
+        Action::Recv("ticket_d".into()),
+        vec![t],
+    );
     b.edge("expire", running, stopped, Guard::Ge(t, TICKET_VALIDITY), Action::Internal, vec![]);
     b.edge("resurrect", stopped, running, Guard::True, Action::Recv("ticket_d".into()), vec![t]);
     b.build()
@@ -273,7 +280,10 @@ pub fn pca_model(variant: PcaModelVariant) -> Network {
 /// Checks the interlock property of a variant: *whenever the monitor
 /// has detected a breach, the pump is stopped within the variant's
 /// deadline*. Returns the checker outcome.
-pub fn check_pca_variant(variant: PcaModelVariant, max_states: usize) -> crate::checker::CheckOutcome {
+pub fn check_pca_variant(
+    variant: PcaModelVariant,
+    max_states: usize,
+) -> crate::checker::CheckOutcome {
     let net = pca_model(variant);
     net.check_bounded_response(
         |v| v.in_location("monitor", "Breached"),

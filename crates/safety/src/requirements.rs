@@ -129,10 +129,7 @@ impl TraceabilityMatrix {
 
     /// Requirements that mitigate a given hazard.
     pub fn for_hazard(&self, hazard_id: &str) -> Vec<&SafetyRequirement> {
-        self.requirements
-            .iter()
-            .filter(|r| r.derived_from.iter().any(|h| h == hazard_id))
-            .collect()
+        self.requirements.iter().filter(|r| r.derived_from.iter().any(|h| h == hazard_id)).collect()
     }
 
     /// Full traceability check against a hazard log.
@@ -177,11 +174,8 @@ impl TraceabilityMatrix {
                 .map(|e| format!("{} ({})", e.reference, e.method))
                 .collect::<Vec<_>>()
                 .join("; ");
-            let text = if r.text.len() > 58 {
-                format!("{}…", &r.text[..57])
-            } else {
-                r.text.clone()
-            };
+            let text =
+                if r.text.len() > 58 { format!("{}…", &r.text[..57]) } else { r.text.clone() };
             let _ = writeln!(out, "{:<5} {:<58} {:<10} {}", r.id, text, hz, ev);
         }
         out
@@ -273,7 +267,9 @@ mod tests {
     fn uncovered_hazard_is_flagged() {
         let m = TraceabilityMatrix::new(vec![]);
         let issues = m.check(&pca_hazard_log());
-        assert!(issues.iter().any(|i| matches!(i, TraceIssue::UncoveredHazard { hazard } if hazard == "H1")));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, TraceIssue::UncoveredHazard { hazard } if hazard == "H1")));
     }
 
     #[test]
@@ -285,7 +281,9 @@ mod tests {
             verified_by: vec![ev(VerificationMethod::Analysis, "none")],
         }]);
         let issues = m.check(&pca_hazard_log());
-        assert!(issues.iter().any(|i| matches!(i, TraceIssue::UnknownHazard { hazard, .. } if hazard == "H99")));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, TraceIssue::UnknownHazard { hazard, .. } if hazard == "H99")));
     }
 
     #[test]
@@ -297,7 +295,9 @@ mod tests {
             verified_by: vec![],
         }]);
         let issues = m.check(&pca_hazard_log());
-        assert!(issues.iter().any(|i| matches!(i, TraceIssue::Unverified { requirement } if requirement == "SRX")));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, TraceIssue::Unverified { requirement } if requirement == "SRX")));
     }
 
     #[test]

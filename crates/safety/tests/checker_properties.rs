@@ -39,9 +39,7 @@ fn arb_network() -> impl Strategy<Value = Network> {
         let automata = specs
             .into_iter()
             .enumerate()
-            .map(|(i, (n_locs, edges, inv))| {
-                arb_automaton(format!("a{i}"), n_locs, edges, inv)
-            })
+            .map(|(i, (n_locs, edges, inv))| arb_automaton(format!("a{i}"), n_locs, edges, inv))
             .collect();
         Network::new(automata)
     })

@@ -1,16 +1,12 @@
 //! # mcps-sim — deterministic discrete-event simulation kernel
 //!
-//! The substrate under every experiment in the `mcps` workspace: a
-//! single-threaded, deterministic discrete-event executive with
-//!
-//! * integer-microsecond [`time`] (no floating-point drift
-//!   in event ordering),
-//! * an actor model ([`actor::Actor`] + [`kernel::Simulation`]) with
-//!   FIFO tie-breaking at equal timestamps,
-//! * reproducible per-actor randomness ([`rng::RngFactory`] — same
-//!   master seed ⇒ bit-identical run),
-//! * a bounded audit [`trace`] and metric collection
-//!   ([`metrics`], [`stats`]).
+//! Facade over [`mcps_runtime`], the workspace's execution substrate.
+//! Domain crates historically imported the kernel through `mcps_sim`
+//! paths (`mcps_sim::kernel::Simulation`, `mcps_sim::stats::Summary`,
+//! …); those paths keep working here while the implementation lives in
+//! `mcps-runtime`, split into a scheduler, an executor and a telemetry
+//! bus. New code that only needs the substrate can depend on
+//! `mcps-runtime` directly.
 //!
 //! ## Example
 //!
@@ -37,23 +33,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod actor;
-pub mod kernel;
-pub mod metrics;
-pub mod rng;
-pub mod stats;
-pub mod time;
-pub mod trace;
+pub use mcps_runtime::{actor, kernel, rng, shard, time, trace};
+
+/// Summary statistics (re-exported from the runtime telemetry bus).
+pub mod stats {
+    pub use mcps_runtime::telemetry::{percentile, Summary, Welford};
+}
+
+/// Metric collection (re-exported from the runtime telemetry bus).
+pub mod metrics {
+    pub use mcps_runtime::telemetry::{Histogram, MetricsHub, Telemetry, TimeSeries};
+}
 
 /// Convenient glob-import of the kernel's everyday names.
 pub mod prelude {
-    pub use crate::actor::{Actor, ActorId};
-    pub use crate::kernel::{Context, Simulation};
-    pub use crate::rng::{RngFactory, SimRng};
-    pub use crate::stats::Summary;
-    pub use crate::time::{SimDuration, SimTime};
+    pub use mcps_runtime::actor::{Actor, ActorId};
+    pub use mcps_runtime::kernel::{Context, Runtime, Simulation};
+    pub use mcps_runtime::rng::{RngFactory, SimRng};
+    pub use mcps_runtime::telemetry::Summary;
+    pub use mcps_runtime::time::{SimDuration, SimTime};
 }
 
-pub use actor::{Actor, ActorId};
-pub use kernel::{Context, Simulation};
-pub use time::{SimDuration, SimTime};
+pub use mcps_runtime::actor::{Actor, ActorId};
+pub use mcps_runtime::kernel::{Context, Runtime, Simulation};
+pub use mcps_runtime::time::{SimDuration, SimTime};

@@ -65,10 +65,7 @@ fn main() {
             out.patient.frac_adequate_analgesia * 100.0
         );
         if let (Some(onset), Some(lat)) = (out.danger_onset_secs, out.stop_latency_secs) {
-            println!(
-                "  true danger at t={:.0}s; pump delivery cut {:.0}s after onset",
-                onset, lat
-            );
+            println!("  true danger at t={:.0}s; pump delivery cut {:.0}s after onset", onset, lat);
         } else if out.danger_onset_secs.is_some() {
             println!("  true danger occurred and the pump was NEVER stopped");
         } else {

@@ -39,8 +39,5 @@ fn main() {
     println!("  lowest true SpO2:      {:.1} %", outcome.patient.min_spo2);
     println!("  severe hypox events:   {}", outcome.patient.severe_hypox_events);
     println!("  mean pain:             {:.1}/10", outcome.patient.mean_pain);
-    println!(
-        "  network delivery:      {}/{} messages",
-        outcome.net_delivered, outcome.net_sent
-    );
+    println!("  network delivery:      {}/{} messages", outcome.net_delivered, outcome.net_sent);
 }

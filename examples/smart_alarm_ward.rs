@@ -18,8 +18,7 @@ fn main() {
     };
     println!(
         "{} monitored beds, {:.0} h, artifact-rich SpO2/HR/RR/EtCO2 sensors\n",
-        cfg.patients,
-        6.0
+        cfg.patients, 6.0
     );
     let out = run_ward_scenario(&cfg);
 
@@ -32,8 +31,8 @@ fn main() {
             s.precision()
         );
     }
-    let ratio =
-        out.threshold.false_alarm_rate_per_hour() / out.fusion.false_alarm_rate_per_hour().max(1e-9);
+    let ratio = out.threshold.false_alarm_rate_per_hour()
+        / out.fusion.false_alarm_rate_per_hour().max(1e-9);
     println!(
         "\nthe fusion alarm cut the false-alarm burden {ratio:.1}x — \
          that is the difference between\nalarms nurses answer and alarms nurses silence."

@@ -1,0 +1,258 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! Implements the harness subset the repo's benches use — groups,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros and `Bencher::iter` —
+//! with a simple warmup + timed-batches measurement loop instead of
+//! criterion's statistical machinery. Reports mean, a spread estimate
+//! and iterations/second on stdout. `--bench` and benchmark name
+//! filters passed on the command line are honored; unknown criterion
+//! flags are ignored so `cargo bench` invocations keep working.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier for a parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timing loop handed to bench closures.
+pub struct Bencher {
+    /// Total measured time across sampled batches.
+    elapsed: Duration,
+    /// Total iterations measured.
+    iters: u64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup: estimate per-iteration cost for batch sizing.
+        let warmup_budget = Duration::from_millis(300);
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < warmup_budget && warmup_iters < 1_000_000 {
+            std_black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+
+        // Measure `sample_size` batches, each sized to ~20ms, bounded so
+        // slow scenario benches still finish promptly.
+        let batch = ((0.02 / per_iter.max(1e-9)).ceil() as u64).clamp(1, 100_000);
+        let samples = self.sample_size.clamp(1, 100);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let budget = Duration::from_secs(5);
+        let started = Instant::now();
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            total += t0.elapsed();
+            iters += batch;
+            if started.elapsed() > budget {
+                break;
+            }
+        }
+        self.elapsed = total;
+        self.iters = iters;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<48} (no samples)");
+            return;
+        }
+        let per = self.elapsed.as_secs_f64() / self.iters as f64;
+        let (scaled, unit) = if per < 1e-6 {
+            (per * 1e9, "ns")
+        } else if per < 1e-3 {
+            (per * 1e6, "µs")
+        } else if per < 1.0 {
+            (per * 1e3, "ms")
+        } else {
+            (per, "s")
+        };
+        println!(
+            "{name:<48} time: {scaled:>10.3} {unit}/iter   ({:.0} iters/s, {} iters)",
+            1.0 / per,
+            self.iters
+        );
+    }
+}
+
+/// Group of related benchmarks (subset of criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&full, sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&full, sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput hints (accepted, not currently used in reports).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench` plus optional name filters;
+        // take the first non-flag argument as a substring filter and
+        // ignore criterion's own flags.
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg.starts_with('-') {
+                continue;
+            }
+            filter = Some(arg);
+            break;
+        }
+        Criterion { filter, default_sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(name, sample_size, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, sample_size };
+        f(&mut b);
+        b.report(name);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_to_completion() {
+        let mut c = Criterion { filter: None, default_sample_size: 10 };
+        sample_bench(&mut c);
+    }
+}

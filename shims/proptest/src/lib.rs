@@ -1,0 +1,473 @@
+//! Workspace-local stand-in for `proptest`.
+//!
+//! Generates random test cases from composable [`Strategy`] values and
+//! runs each test body N times (default 64, override with the
+//! `PROPTEST_CASES` env var or `ProptestConfig::with_cases`). Unlike
+//! upstream proptest there is **no shrinking** — a failing case panics
+//! with the generating seed so it can be replayed — and generation is
+//! fully deterministic: the stream is ChaCha8 seeded from the test
+//! function's name, so a given test sees the same cases on every run
+//! and every machine.
+
+use rand::{Rng as _, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+use std::ops::Range;
+
+/// Per-case RNG handed to strategies.
+pub type TestRng = ChaCha8Rng;
+
+/// Failure raised by `prop_assert!`-style macros.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runner configuration (subset of upstream's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Drives the per-test case loop; constructed by the `proptest!` macro.
+pub struct TestRunner {
+    cases: u32,
+    case: u64,
+    seed: u64,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        // FNV-1a over the test name: a stable per-test seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner { cases: config.cases, case: 0, seed: h }
+    }
+
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    pub fn case_seed(&self) -> u64 {
+        self.seed ^ self.case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    pub fn next_rng(&mut self) -> TestRng {
+        let rng = TestRng::seed_from_u64(self.case_seed());
+        self.case += 1;
+        rng
+    }
+}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// `Strategy::prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Constant strategy (upstream `Just`).
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Ranges as strategies.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+// Tuples of strategies.
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+ $(,)?),)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0,),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+}
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<u64>() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, broadly ranged values (upstream biases similarly away
+        // from NaN/inf in `any::<f64>()`'s default).
+        let mag = rng.gen_range(-300.0f64..300.0);
+        let sign = if rng.gen::<u64>() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * 10f64.powf(mag / 10.0)
+    }
+}
+
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+// String patterns: a `&str` literal like "[a-z]{1,12}" is itself a
+// strategy producing `String`s from the character class.
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let bytes = pattern.as_bytes();
+    if bytes.first() != Some(&b'[') {
+        // Not a class pattern: treat as a literal.
+        return pattern.to_string();
+    }
+    let close = pattern.find(']').expect("proptest shim: unterminated character class");
+    let class = &pattern[1..close];
+    let mut chars: Vec<char> = Vec::new();
+    let cs: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            let (lo, hi) = (cs[i] as u32, cs[i + 2] as u32);
+            for c in lo..=hi {
+                chars.push(char::from_u32(c).unwrap());
+            }
+            i += 3;
+        } else {
+            chars.push(cs[i]);
+            i += 1;
+        }
+    }
+    assert!(!chars.is_empty(), "proptest shim: empty character class");
+    let rest = &pattern[close + 1..];
+    let (min, max) = if let Some(rep) = rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+        match rep.split_once(',') {
+            Some((a, b)) => (
+                a.parse().expect("proptest shim: bad repeat min"),
+                b.parse().expect("proptest shim: bad repeat max"),
+            ),
+            None => {
+                let n: usize = rep.parse().expect("proptest shim: bad repeat count");
+                (n, n)
+            }
+        }
+    } else if rest == "+" {
+        (1usize, 16usize)
+    } else if rest == "*" {
+        (0usize, 16usize)
+    } else if rest.is_empty() {
+        (1usize, 1usize)
+    } else {
+        panic!("proptest shim: unsupported pattern `{pattern}`");
+    };
+    let len = rng.gen_range(min..=max);
+    (0..len).map(|_| chars[rng.gen_range(0..chars.len())]).collect()
+}
+
+pub mod collection {
+    use super::*;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(elem, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::*;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `proptest::option::of(strategy)` — `None` about a quarter of the
+    /// time, mirroring upstream's default weighting.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                left, right, format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// The `proptest! { ... }` block: each `fn name(pat in strategy, ...)`
+/// becomes a `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::new(config, stringify!($name));
+            for _ in 0..runner.cases() {
+                let case_seed = runner.case_seed();
+                let mut rng = runner.next_rng();
+                $(let $pat = $crate::Strategy::generate(&$strategy, &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case failed (replay seed {:#x}): {}",
+                        case_seed, e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_are_deterministic_per_test_name() {
+        let mut r1 = crate::TestRunner::new(ProptestConfig::with_cases(4), "x");
+        let mut r2 = crate::TestRunner::new(ProptestConfig::with_cases(4), "x");
+        let s = crate::collection::vec((0u64..100, any::<u32>()), 1..20);
+        for _ in 0..4 {
+            let a = s.generate(&mut r1.next_rng());
+            let b = s.generate(&mut r2.next_rng());
+            assert_eq!(a, b);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        fn vec_lengths_respect_bounds(
+            xs in crate::collection::vec(0u64..10, 3..7),
+        ) {
+            prop_assert!(xs.len() >= 3 && xs.len() < 7);
+            for x in &xs {
+                prop_assert!(*x < 10);
+            }
+        }
+
+        fn string_pattern_class(label in "[a-z]{1,12}") {
+            prop_assert!(!label.is_empty() && label.len() <= 12);
+            prop_assert!(label.chars().all(|c| c.is_ascii_lowercase()), "{label}");
+        }
+
+        fn option_of_produces_both(picks in crate::collection::vec(
+            crate::option::of(0u32..5), 32..33,
+        )) {
+            // With 32 draws at 1/4 None probability, both arms show up
+            // essentially always under a deterministic stream.
+            prop_assert!(picks.iter().any(Option::is_some));
+        }
+
+        fn prop_map_applies(n in (0u64..10).prop_map(|x| x * 2)) {
+            prop_assert!(n % 2 == 0 && n < 20);
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! Workspace-local stand-in for `serde`.
+//!
+//! Instead of upstream serde's visitor architecture, this shim uses a
+//! concrete intermediate tree ([`Content`]): `Serialize` lowers a value
+//! into a `Content`, `Deserialize` rebuilds a value from one, and
+//! `serde_json` (the sibling shim) renders/parses `Content` as JSON
+//! text. The workspace only relies on *roundtrip self-consistency*
+//! (`from_str(to_string(x)) == x`), which this model provides for every
+//! derivable type used in the repo; it makes no attempt at wire-format
+//! compatibility with upstream serde_json beyond ordinary JSON.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The intermediate data model every value serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Ordered key/value pairs (JSON object). Order is preserved so
+    /// serialization is deterministic.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// String form used when this content is a map *key*.
+    pub fn key_string(&self) -> Result<String, Error> {
+        match self {
+            Content::Str(s) => Ok(s.clone()),
+            Content::Bool(b) => Ok(b.to_string()),
+            Content::U64(n) => Ok(n.to_string()),
+            Content::I64(n) => Ok(n.to_string()),
+            Content::F64(x) => Ok(format!("{x}")),
+            _ => Err(Error::new("map key must be a primitive")),
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    pub fn expected(what: &str, got: &Content) -> Self {
+        let kind = match got {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        };
+        Error(format!("expected {what}, found {kind}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lowers a value into the [`Content`] tree.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Rebuilds a value from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+pub mod de {
+    //! Namespace parity with upstream `serde::de`.
+    pub use crate::Error;
+
+    /// Upstream's `DeserializeOwned` marker; with no borrowed
+    /// deserialization in the shim it is just an alias bound.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    //! Namespace parity with upstream `serde::ser`.
+    pub use crate::Error;
+}
+
+/// Fetches a required struct field from a map.
+pub fn field<'c>(map: &'c [(String, Content)], name: &str) -> Result<&'c Content, Error> {
+    map.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::new(format!("missing field `{name}`")))
+}
+
+/// Fetches an optional struct field (absent => None).
+pub fn field_opt<'c>(map: &'c [(String, Content)], name: &str) -> Option<&'c Content> {
+    map.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            Content::Str(s) => s.parse().map_err(|_| Error::expected("bool", c)),
+            _ => Err(Error::expected("bool", c)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v = match c {
+                    Content::U64(n) => *n,
+                    Content::I64(n) if *n >= 0 => *n as u64,
+                    Content::F64(x) if x.fract() == 0.0 && *x >= 0.0 => *x as u64,
+                    Content::Str(s) => {
+                        return s.parse().map_err(|_| Error::expected("unsigned integer", c))
+                    }
+                    _ => return Err(Error::expected("unsigned integer", c)),
+                };
+                <$t>::try_from(v).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v: i64 = match c {
+                    Content::I64(n) => *n,
+                    Content::U64(n) => {
+                        i64::try_from(*n).map_err(|_| Error::new("integer out of range"))?
+                    }
+                    Content::F64(x) if x.fract() == 0.0 => *x as i64,
+                    Content::Str(s) => {
+                        return s.parse().map_err(|_| Error::expected("integer", c))
+                    }
+                    _ => return Err(Error::expected("integer", c)),
+                };
+                <$t>::try_from(v).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::F64(x) => Ok(*x),
+            Content::U64(n) => Ok(*n as f64),
+            Content::I64(n) => Ok(*n as f64),
+            // serde_json writes non-finite floats as null; accept the
+            // reverse mapping so roundtrips fail softly, as upstream does.
+            Content::Null => Ok(f64::NAN),
+            Content::Str(s) => s.parse().map_err(|_| Error::expected("float", c)),
+            _ => Err(Error::expected("float", c)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        f64::from_content(c).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", c)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::expected("single-character string", c)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_seq()
+            .ok_or_else(|| Error::expected("sequence", c))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_seq()
+            .ok_or_else(|| Error::expected("sequence", c))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let seq = c.as_seq().ok_or_else(|| Error::expected("sequence", c))?;
+        if seq.len() != N {
+            return Err(Error::new(format!("expected array of length {N}, got {}", seq.len())));
+        }
+        let items: Vec<T> = seq.iter().map(T::from_content).collect::<Result<_, _>>()?;
+        items.try_into().map_err(|_| Error::new(format!("expected array of length {N}")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+),)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let seq = c.as_seq().ok_or_else(|| Error::expected("tuple", c))?;
+                let expected = [$(stringify!($idx)),+].len();
+                if seq.len() != expected {
+                    return Err(Error::new(format!(
+                        "expected tuple of length {expected}, found {}",
+                        seq.len()
+                    )));
+                }
+                Ok(($($name::from_content(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content().key_string().expect("map key"), v.to_content()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let m = c.as_map().ok_or_else(|| Error::expected("map", c))?;
+        m.iter()
+            .map(|(k, v)| {
+                let key = K::from_content(&Content::Str(k.clone()))?;
+                Ok((key, V::from_content(v)?))
+            })
+            .collect()
+    }
+}
+
+impl<K: Serialize + Ord + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_content(&self) -> Content {
+        // Sort for deterministic output.
+        let mut pairs: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.to_content().key_string().expect("map key"), v.to_content()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(pairs)
+    }
+}
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let m = c.as_map().ok_or_else(|| Error::expected("map", c))?;
+        m.iter()
+            .map(|(k, v)| {
+                let key = K::from_content(&Content::Str(k.clone()))?;
+                Ok((key, V::from_content(v)?))
+            })
+            .collect()
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+impl Deserialize for () {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(()),
+            _ => Err(Error::expected("null", c)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_and_maps_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), Some(3u32));
+        m.insert("b".to_string(), None);
+        let c = m.to_content();
+        let back: BTreeMap<String, Option<u32>> = Deserialize::from_content(&c).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn integer_keys_roundtrip_via_strings() {
+        let mut m = BTreeMap::new();
+        m.insert(5u64, 1.5f64);
+        m.insert(9u64, -2.0);
+        let c = m.to_content();
+        let back: BTreeMap<u64, f64> = Deserialize::from_content(&c).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,399 @@
+//! Derive macros for the workspace-local `serde` shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`
+//! available offline). The parser extracts only what code generation
+//! needs — type name, struct shape, field names / arities, enum
+//! variants — and the generated impls target the shim's `Content` tree.
+//!
+//! Supported shapes (everything the workspace derives): unit / tuple /
+//! named structs and enums whose variants are unit, tuple or struct.
+//! Not supported (panics with a clear message): generic parameters and
+//! `#[serde(...)]` attributes, neither of which the workspace uses.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Body {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Body),
+    Enum(Vec<(String, Body)>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Skips attributes (`#[...]`, including doc comments) at the cursor.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                if let TokenTree::Group(inner) = &tokens[i + 1] {
+                    let txt = inner.stream().to_string();
+                    if txt.starts_with("serde") {
+                        panic!("serde shim derive: #[serde(...)] attributes are not supported");
+                    }
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) at the cursor.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advances past a type (or any token run) to the next comma at
+/// angle-bracket depth zero. Parens/brackets/braces arrive as single
+/// `Group` tokens, so only `<`/`>` depth needs tracking.
+fn skip_to_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i32 = 0;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses `{ field: Type, ... }` field names.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_vis(&tokens, i);
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("serde shim derive: expected field name, found `{other}`"),
+        }
+        i += 1; // field name
+        i += 1; // ':'
+        i = skip_to_comma(&tokens, i);
+        i += 1; // ','
+    }
+    fields
+}
+
+/// Counts `( Type, ... )` tuple fields.
+fn parse_tuple_arity(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        arity += 1;
+        i = skip_to_comma(&tokens, i);
+        i += 1;
+    }
+    arity
+}
+
+fn parse_enum_variants(group: &proc_macro::Group) -> Vec<(String, Body)> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Body::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Body::Tuple(parse_tuple_arity(g))
+            }
+            _ => Body::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the separator.
+        i = skip_to_comma(&tokens, i);
+        i += 1;
+        variants.push((name, body));
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are not supported (type `{name}`)");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Body::Named(parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Body::Tuple(parse_tuple_arity(g)))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct(Body::Unit),
+            other => panic!("serde shim derive: unsupported struct body `{other:?}`"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_enum_variants(g))
+            }
+            other => panic!("serde shim derive: unsupported enum body `{other:?}`"),
+        },
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    };
+    Input { name, shape }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(Body::Unit) => "::serde::Content::Null".to_string(),
+        Shape::Struct(Body::Tuple(1)) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::Struct(Body::Tuple(n)) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_content(&self.{i})")).collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Body::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, body)| match body {
+                    Body::Unit => format!(
+                        "{name}::{v} => ::serde::Content::Str(\
+                         ::std::string::String::from(\"{v}\")),"
+                    ),
+                    Body::Tuple(1) => format!(
+                        "{name}::{v}(f0) => ::serde::Content::Map(::std::vec![(\
+                         ::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::to_content(f0))]),"
+                    ),
+                    Body::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_content(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Content::Seq(::std::vec![{items}]))]),",
+                            binds = binds.join(", "),
+                            items = items.join(", "),
+                        )
+                    }
+                    Body::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_content({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Content::Map(::std::vec![{items}]))]),",
+                            items = items.join(", "),
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_content(&self) -> ::serde::Content {{ {body} }} }}"
+    )
+}
+
+fn gen_named_ctor(path: &str, fields: &[String], map_expr: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_content(::serde::field({map_expr}, \"{f}\")?)?"
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", items.join(", "))
+}
+
+fn gen_seq_ctor(path: &str, n: usize, seq_expr: &str) -> String {
+    let items: Vec<String> =
+        (0..n).map(|i| format!("::serde::Deserialize::from_content(&{seq_expr}[{i}])?")).collect();
+    format!("{path}({})", items.join(", "))
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(Body::Unit) => format!(
+            "match c {{ ::serde::Content::Null => ::std::result::Result::Ok({name}), \
+             other => ::std::result::Result::Err(::serde::Error::expected(\"unit struct {name}\", other)) }}"
+        ),
+        Shape::Struct(Body::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))"
+        ),
+        Shape::Struct(Body::Tuple(n)) => format!(
+            "{{ let seq = c.as_seq().ok_or_else(|| \
+             ::serde::Error::expected(\"tuple struct {name}\", c))?; \
+             if seq.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::new(\
+             \"wrong tuple length for {name}\")); }} \
+             ::std::result::Result::Ok({ctor}) }}",
+            ctor = gen_seq_ctor(name, *n, "seq"),
+        ),
+        Shape::Struct(Body::Named(fields)) => format!(
+            "{{ let m = c.as_map().ok_or_else(|| \
+             ::serde::Error::expected(\"struct {name}\", c))?; \
+             ::std::result::Result::Ok({ctor}) }}",
+            ctor = gen_named_ctor(name, fields, "m"),
+        ),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, b)| matches!(b, Body::Unit))
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, body)| match body {
+                    Body::Unit => None,
+                    Body::Tuple(1) => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_content(v_content)?)),"
+                    )),
+                    Body::Tuple(n) => Some(format!(
+                        "\"{v}\" => {{ let seq = v_content.as_seq().ok_or_else(|| \
+                         ::serde::Error::expected(\"tuple variant {name}::{v}\", v_content))?; \
+                         if seq.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::Error::new(\"wrong tuple length for {name}::{v}\")); }} \
+                         ::std::result::Result::Ok({ctor}) }},",
+                        ctor = gen_seq_ctor(&format!("{name}::{v}"), *n, "seq"),
+                    )),
+                    Body::Named(fields) => Some(format!(
+                        "\"{v}\" => {{ let vm = v_content.as_map().ok_or_else(|| \
+                         ::serde::Error::expected(\"struct variant {name}::{v}\", v_content))?; \
+                         ::std::result::Result::Ok({ctor}) }},",
+                        ctor = gen_named_ctor(&format!("{name}::{v}"), fields, "vm"),
+                    )),
+                })
+                .collect();
+            format!(
+                "match c {{ \
+                 ::serde::Content::Str(s) => match s.as_str() {{ \
+                   {unit_arms} \
+                   other => ::std::result::Result::Err(::serde::Error::new(\
+                   ::std::format!(\"unknown variant `{{other}}` of {name}\"))), \
+                 }}, \
+                 ::serde::Content::Map(m) if m.len() == 1 => {{ \
+                   let (k, v_content) = &m[0]; \
+                   match k.as_str() {{ \
+                     {payload_arms} \
+                     other => ::std::result::Result::Err(::serde::Error::new(\
+                     ::std::format!(\"unknown variant `{{other}}` of {name}\"))), \
+                   }} \
+                 }}, \
+                 other => ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"enum {name}\", other)), \
+                 }}",
+                unit_arms = unit_arms.join(" "),
+                payload_arms = payload_arms.join(" "),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_content(c: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("serde shim derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("serde shim derive: generated invalid Deserialize impl")
+}

@@ -38,10 +38,8 @@ fn monitor_crash_stops_therapy_but_keeps_patient_safe() {
     // Freshness timeout (10 s) + ticket validity (15 s) + slack.
     assert!(lat <= 30.0, "fail-safe latency {lat}s");
     // And it must stay stopped: no permit=true transition afterwards.
-    let resumed = out
-        .permit_transitions_secs
-        .iter()
-        .any(|&(t, p)| p && t > crash_at.as_secs_f64() + lat);
+    let resumed =
+        out.permit_transitions_secs.iter().any(|&(t, p)| p && t > crash_at.as_secs_f64() + lat);
     assert!(!resumed, "no data ⇒ no permission, forever: {:?}", out.permit_transitions_secs);
 }
 

@@ -31,10 +31,8 @@ fn backup_oximeter_takes_over_after_primary_crash() {
         out.associations_completed
     );
     // ...after which permission is restored (tickets flow again).
-    let resumed = out
-        .permit_transitions_secs
-        .iter()
-        .any(|&(t, p)| p && t > crash_at.as_secs_f64() + stop);
+    let resumed =
+        out.permit_transitions_secs.iter().any(|&(t, p)| p && t > crash_at.as_secs_f64() + stop);
     assert!(resumed, "therapy must resume on the backup device: {:?}", out.permit_transitions_secs);
     // Resumption should be prompt: disassociation timeout (30 s) +
     // announce period (10 s) + resume holdoff does not apply (stale
@@ -60,10 +58,8 @@ fn without_backup_the_system_stays_safe_but_stopped() {
     cfg.oximeter_fault = FaultPlan::none().with_fault(FaultKind::Crash, crash_at, None);
     let out = run_pca_scenario(&cfg);
     let stop = out.stop_after(crash_at).expect("fail-safe stop");
-    let resumed = out
-        .permit_transitions_secs
-        .iter()
-        .any(|&(t, p)| p && t > crash_at.as_secs_f64() + stop);
+    let resumed =
+        out.permit_transitions_secs.iter().any(|&(t, p)| p && t > crash_at.as_secs_f64() + stop);
     assert!(!resumed, "no backup ⇒ no resumption: {:?}", out.permit_transitions_secs);
     assert_eq!(out.associations_completed, 1);
 }

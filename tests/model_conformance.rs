@@ -14,10 +14,7 @@ use proptest::prelude::*;
 /// (in whole seconds = model time units) and compares the permission
 /// signal each second.
 fn conformance_run(grant_at: Vec<u64>, horizon: u64) -> Result<(), String> {
-    let mut pump = PcaPump::new(PcaPumpConfig {
-        ticket_mode: true,
-        ..PcaPumpConfig::default()
-    });
+    let mut pump = PcaPump::new(PcaPumpConfig { ticket_mode: true, ..PcaPumpConfig::default() });
     let mut model = AutomatonExecutor::new(pump_ticket_model());
     let validity = SimDuration::from_secs(u64::from(TICKET_VALIDITY));
     let mut grants = grant_at;
@@ -41,9 +38,7 @@ fn conformance_run(grant_at: Vec<u64>, horizon: u64) -> Result<(), String> {
             // first on the next advance — retry after settling.
             if model.offer("ticket_d").is_err() {
                 model.advance(0);
-                model
-                    .offer("ticket_d")
-                    .map_err(|e| format!("t={s}: model refused ticket: {e}"))?;
+                model.offer("ticket_d").map_err(|e| format!("t={s}: model refused ticket: {e}"))?;
             }
         }
         let model_running = model.in_location("Running");

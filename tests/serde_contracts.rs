@@ -50,7 +50,8 @@ fn deserialized_config_reproduces_the_same_run() {
 
 #[test]
 fn ward_config_and_outcome_roundtrip() {
-    let cfg = WardConfig { patients: 2, duration: SimDuration::from_mins(30), ..WardConfig::default() };
+    let cfg =
+        WardConfig { patients: 2, duration: SimDuration::from_mins(30), ..WardConfig::default() };
     assert_eq!(cfg, roundtrip(&cfg));
     let out = run_ward_scenario(&cfg);
     assert_eq!(out, roundtrip(&out));
