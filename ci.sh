@@ -8,6 +8,10 @@
 # Extras the tier-1 gate does not cover:
 #   4. cargo test --workspace -q                — every crate incl. shims
 #   5. cargo build --benches                    — criterion benches compile
+#   6. checker conformance tests                — packed engine ==
+#      reference engine, serial == parallel (bit-identical)
+#   7. checker smoke budget                     — bench_checker fails if
+#      state_space_bound20 regresses past a generous wall-clock ceiling
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -29,5 +33,13 @@ cargo test --workspace -q
 
 echo "== benches compile =="
 cargo build --benches
+
+echo "== checker conformance (packed vs reference, serial vs parallel) =="
+cargo test -q -p mcps-safety --release --test packed_engine
+
+echo "== checker smoke budget =="
+cargo build --release -q -p mcps-bench --bin bench_checker
+./target/release/bench_checker --out target/BENCH_checker.json --max-ms 10000 > /dev/null
+echo "state_space_bound20 under the 10s ceiling (target/BENCH_checker.json)"
 
 echo "CI OK"

@@ -1,10 +1,10 @@
 //! E7d — model-checker cost per PCA interlock variant, plus state-space
 //! growth with the number of parallel timers (the documented
-//! exponential).
+//! exponential), plus a packed-vs-reference engine comparison on the
+//! same workload so the speedup is measured, not asserted.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mcps_safety::automaton::{Action, Automaton, Guard};
-use mcps_safety::checker::Network;
+use mcps_bench::timer_chain;
 use mcps_safety::models::{check_pca_variant, PcaModelVariant};
 
 fn bench_variants(c: &mut Criterion) {
@@ -20,24 +20,6 @@ fn bench_variants(c: &mut Criterion) {
     group.finish();
 }
 
-/// A chain of N independent timers each counting to `bound` — the
-/// reachable state space grows like `bound^N`.
-fn timer_chain(n: usize, bound: u32) -> Network {
-    let automata = (0..n)
-        .map(|i| {
-            let mut b = Automaton::builder(&format!("timer{i}"));
-            let x = b.clock("x");
-            let run = b.location("Run");
-            let done = b.location("Done");
-            b.invariant(run, Guard::Le(x, bound));
-            b.edge("fire", run, done, Guard::Ge(x, bound), Action::Internal, vec![x]);
-            b.edge("restart", done, run, Guard::True, Action::Internal, vec![x]);
-            b.build()
-        })
-        .collect();
-    Network::new(automata)
-}
-
 fn bench_state_space_growth(c: &mut Criterion) {
     let mut group = c.benchmark_group("checker/state_space_bound20");
     group.sample_size(10);
@@ -50,5 +32,25 @@ fn bench_state_space_growth(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_variants, bench_state_space_growth);
+/// The same workload on the packed engine (serial, to isolate the data
+/// layout from the scheduler) and on the retained first-generation
+/// engine. `timer_chain(2, 20)` keeps the reference side tolerable.
+fn bench_engine_comparison(c: &mut Criterion) {
+    use mcps_safety::pack::ExploreMode;
+    let mut group = c.benchmark_group("checker/engine_bound20_n2");
+    group.sample_size(10);
+    let net = timer_chain(2, 20);
+    group.bench_function("packed_serial", |b| {
+        b.iter(|| net.check_safety_in(|_| false, 50_000_000, ExploreMode::Serial))
+    });
+    group.bench_function("packed_parallel", |b| {
+        b.iter(|| net.check_safety_in(|_| false, 50_000_000, ExploreMode::Parallel))
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| net.check_safety_reference(|_| false, 50_000_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_state_space_growth, bench_engine_comparison);
 criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Machine-readable checker perf baseline.
+//!
+//! Runs the standard checker workloads — the five E5 interlock variants
+//! and the `timer_chain(3, bound)` state-space blowups for bounds 10
+//! and 20 — on the packed engine and writes throughput (states/sec),
+//! state counts and peak arena size to `BENCH_checker.json`, so perf
+//! regressions show up in version control as number changes rather
+//! than anecdotes.
+//!
+//! Usage: `bench_checker [--out PATH] [--budget STATES] [--max-ms MS]`
+//!
+//! `--max-ms` is the CI smoke budget: if the `state_space_bound20`
+//! workload takes longer than this many milliseconds, the run exits
+//! nonzero. The ceiling is generous (default 10000 ms against ~30 ms
+//! measured) — it catches order-of-magnitude regressions like an
+//! accidental fallback to the reference engine, not jitter.
+
+use mcps_bench::{timer_chain, Args};
+use mcps_safety::models::{check_pca_variant_stats, PcaModelVariant};
+use mcps_safety::pack::ExploreMode;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct WorkloadReport {
+    name: String,
+    verdict: String,
+    states: usize,
+    millis: f64,
+    states_per_sec: f64,
+    arena_bytes: usize,
+    words_per_state: usize,
+    bfs_layers: usize,
+    peak_layer: usize,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    engine: String,
+    mode: String,
+    budget: usize,
+    workloads: Vec<WorkloadReport>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let out_path = args.get_str("out", "BENCH_checker.json");
+    let budget = args.get_u64("budget", 50_000_000) as usize;
+    let max_ms = args.get_u64("max-ms", 10_000) as f64;
+
+    let mut workloads = Vec::new();
+    for variant in PcaModelVariant::ALL {
+        let start = Instant::now();
+        let (outcome, stats) = check_pca_variant_stats(variant, budget, ExploreMode::Auto);
+        workloads.push(report(format!("e5/{variant:?}"), outcome_name(&outcome), stats, start));
+    }
+    let mut bound20_ms = 0.0;
+    for bound in [10u32, 20] {
+        let net = timer_chain(3, bound);
+        let start = Instant::now();
+        let (outcome, stats) = net.check_safety_stats(|_| false, budget, ExploreMode::Auto);
+        let r = report(format!("state_space_bound{bound}"), outcome_name(&outcome), stats, start);
+        if bound == 20 {
+            bound20_ms = r.millis;
+        }
+        workloads.push(r);
+    }
+
+    let report = BenchReport {
+        engine: "packed-arena".to_owned(),
+        mode: "auto".to_owned(),
+        budget,
+        workloads,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("{json}");
+    println!("\nwrote {out_path}");
+
+    if bound20_ms > max_ms {
+        eprintln!(
+            "SMOKE BUDGET EXCEEDED: state_space_bound20 took {bound20_ms:.1} ms (ceiling {max_ms} ms)"
+        );
+        std::process::exit(1);
+    }
+    println!("smoke budget OK: state_space_bound20 in {bound20_ms:.1} ms (ceiling {max_ms} ms)");
+}
+
+fn outcome_name(outcome: &mcps_safety::CheckOutcome) -> String {
+    match outcome {
+        mcps_safety::CheckOutcome::Holds { .. } => "holds".to_owned(),
+        mcps_safety::CheckOutcome::Violated { .. } => "violated".to_owned(),
+        mcps_safety::CheckOutcome::Exhausted { .. } => "exhausted".to_owned(),
+    }
+}
+
+fn report(
+    name: String,
+    verdict: String,
+    stats: mcps_safety::ExploreStats,
+    start: Instant,
+) -> WorkloadReport {
+    let millis = start.elapsed().as_secs_f64() * 1_000.0;
+    WorkloadReport {
+        name,
+        verdict,
+        states: stats.states,
+        millis,
+        states_per_sec: stats.states as f64 / (millis / 1_000.0).max(1e-9),
+        arena_bytes: stats.arena_bytes,
+        words_per_state: stats.words_per_state,
+        bfs_layers: stats.layers,
+        peak_layer: stats.peak_layer,
+    }
+}

@@ -128,10 +128,37 @@ impl Args {
         self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
     }
 
+    /// A string value or its default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_owned())
+    }
+
     /// Whether a bare flag was passed.
     pub fn has_flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }
+}
+
+/// A chain of N independent timers each counting to `bound` — the
+/// reachable state space grows like `bound^N`. The standard workload
+/// for checker throughput measurements (`checker` criterion bench, the
+/// `bench_checker` baseline binary and the CI smoke budget all share
+/// it so their numbers are comparable).
+pub fn timer_chain(n: usize, bound: u32) -> mcps_safety::checker::Network {
+    use mcps_safety::automaton::{Action, Automaton, Guard};
+    let automata = (0..n)
+        .map(|i| {
+            let mut b = Automaton::builder(&format!("timer{i}"));
+            let x = b.clock("x");
+            let run = b.location("Run");
+            let done = b.location("Done");
+            b.invariant(run, Guard::Le(x, bound));
+            b.edge("fire", run, done, Guard::Ge(x, bound), Action::Internal, vec![x]);
+            b.edge("restart", done, run, Guard::True, Action::Internal, vec![x]);
+            b.build()
+        })
+        .collect();
+    mcps_safety::checker::Network::new(automata)
 }
 
 /// Formats a float compactly for tables.

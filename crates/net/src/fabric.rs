@@ -13,6 +13,7 @@ use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifies an endpoint attached to a [`Fabric`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -34,9 +35,11 @@ impl fmt::Display for EndpointId {
 /// A publish/subscribe topic name.
 ///
 /// Topics are flat strings by convention structured like
-/// `"vitals/spo2"` or `"pump/status"`; matching is exact.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct Topic(String);
+/// `"vitals/spo2"` or `"pump/status"`; matching is exact. The name is
+/// reference-counted (`Arc<str>`), so the clone a router or message
+/// header takes per hop is a pointer bump, not a heap copy.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Topic(Arc<str>);
 
 impl Topic {
     /// Creates a topic.
@@ -44,15 +47,34 @@ impl Topic {
     /// # Panics
     ///
     /// Panics if `name` is empty.
-    pub fn new(name: impl Into<String>) -> Self {
-        let name = name.into();
+    pub fn new(name: impl AsRef<str>) -> Self {
+        let name = name.as_ref();
         assert!(!name.is_empty(), "topic name must not be empty");
-        Topic(name)
+        Topic(Arc::from(name))
     }
 
     /// The topic name.
     pub fn as_str(&self) -> &str {
         &self.0
+    }
+}
+
+// Manual serde impls: the derive would require `Serialize` on
+// `Arc<str>`, which the workspace serde shim does not provide. A topic
+// is just its name on the wire.
+impl Serialize for Topic {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Str(self.0.to_string())
+    }
+}
+
+impl Deserialize for Topic {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        match content {
+            serde::Content::Str(s) if !s.is_empty() => Ok(Topic::new(s)),
+            serde::Content::Str(_) => Err(serde::Error::new("topic name must not be empty")),
+            other => Err(serde::Error::expected("string", other)),
+        }
     }
 }
 
@@ -98,12 +120,27 @@ impl LinkStats {
     ///
     /// [`Telemetry`]: mcps_sim::metrics::Telemetry
     pub fn export_into(&self, bus: &mut mcps_sim::metrics::Telemetry, prefix: &str) {
-        bus.incr(&format!("{prefix}.sent"), self.sent);
-        bus.incr(&format!("{prefix}.delivered"), self.delivered);
-        bus.incr(&format!("{prefix}.dropped"), self.dropped);
-        bus.observe(&format!("{prefix}.delivery_ratio"), self.delivery_ratio());
+        // One reusable key buffer instead of a fresh `format!` String
+        // per metric — this runs per link per export tick.
+        let mut key = String::with_capacity(prefix.len() + 16);
+        key.push_str(prefix);
+        key.push('.');
+        let base = key.len();
+        let with = |suffix: &str, key: &mut String| {
+            key.truncate(base);
+            key.push_str(suffix);
+        };
+        with("sent", &mut key);
+        bus.incr(&key, self.sent);
+        with("delivered", &mut key);
+        bus.incr(&key, self.delivered);
+        with("dropped", &mut key);
+        bus.incr(&key, self.dropped);
+        with("delivery_ratio", &mut key);
+        bus.observe(&key, self.delivery_ratio());
         if self.latency.count() > 0 {
-            bus.observe(&format!("{prefix}.latency_mean_s"), self.latency.mean());
+            with("latency_mean_s", &mut key);
+            bus.observe(&key, self.latency.mean());
         }
     }
 }

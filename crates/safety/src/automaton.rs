@@ -192,6 +192,19 @@ impl Automaton {
             .collect()
     }
 
+    /// Bits needed to pack this automaton's location index — layout
+    /// metadata for the checker's packed state encoding
+    /// (see [`crate::pack::PackedLayout`]).
+    pub fn loc_bits(&self) -> u32 {
+        bits_for(self.locations.len() as u64 - 1)
+    }
+
+    /// Bits needed to pack each ceiling-capped clock of this automaton,
+    /// in clock order. Companion of [`Self::loc_bits`].
+    pub fn clock_bits(&self) -> Vec<u32> {
+        self.clock_ceilings().iter().map(|&c| bits_for(u64::from(c))).collect()
+    }
+
     /// Basic well-formedness: edges reference valid locations/clocks,
     /// initial location exists.
     pub fn validate(&self) -> Result<(), String> {
@@ -219,6 +232,12 @@ impl Automaton {
         }
         Ok(())
     }
+}
+
+/// Bits needed to represent every value in `0..=max` (0 bits for
+/// `max == 0`).
+pub(crate) fn bits_for(max: u64) -> u32 {
+    64 - max.leading_zeros()
 }
 
 /// Builder for [`Automaton`].
@@ -344,6 +363,19 @@ mod tests {
     #[should_panic(expected = "invalid automaton")]
     fn empty_automaton_rejected() {
         let _ = Automaton::builder("empty").build();
+    }
+
+    #[test]
+    fn packing_widths() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for(u64::MAX), 64);
+        let a = simple();
+        // Two locations -> 1 bit; one clock with ceiling 11 -> 4 bits.
+        assert_eq!(a.loc_bits(), 1);
+        assert_eq!(a.clock_bits(), vec![4]);
     }
 
     #[test]

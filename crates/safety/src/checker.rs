@@ -11,8 +11,17 @@
 //! Clock values are capped at each clock's ceiling (max constant + 1),
 //! which preserves all guard/invariant truth values while keeping the
 //! state space finite.
+//!
+//! Exploration runs on the packed-state engine of [`crate::pack`]:
+//! states are bit-packed into `u64` word vectors, interned once in an
+//! arena and addressed by `u32` id, with an optional deterministic
+//! layer-parallel BFS. The original map-of-cloned-states engine is
+//! retained as [`Network::check_safety_reference`] /
+//! [`Network::check_bounded_response_reference`] and serves as the
+//! differential-testing oracle for the packed engine.
 
 use crate::automaton::{Action, Automaton};
+use crate::pack::{Engine, ExploreMode, ExploreStats, PackedLayout};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -20,26 +29,52 @@ use std::fmt;
 /// A network of automata composed in parallel.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Network {
-    automata: Vec<Automaton>,
-    ceilings: Vec<Vec<u32>>,
+    pub(crate) automata: Vec<Automaton>,
+    pub(crate) ceilings: Vec<Vec<u32>>,
 }
 
 /// The discrete state of a network: one location per automaton plus all
 /// clock valuations (grouped per automaton).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct NetState {
-    locs: Vec<u16>,
-    clocks: Vec<Vec<u32>>,
+    pub(crate) locs: Vec<u16>,
+    pub(crate) clocks: Vec<Vec<u32>>,
 }
 
 /// Read-only view of a network state for property predicates.
+///
+/// Backed either by a [`NetState`] (reference engine, replay) or by the
+/// packed engine's flat decode buffers — predicates can't tell the
+/// difference.
 #[derive(Debug, Clone, Copy)]
 pub struct StateView<'a> {
     net: &'a Network,
-    state: &'a NetState,
+    locs: &'a [u16],
+    clocks: Clocks<'a>,
+}
+
+/// Clock storage behind a [`StateView`].
+#[derive(Debug, Clone, Copy)]
+enum Clocks<'a> {
+    /// Per-automaton vectors, as stored in a [`NetState`].
+    Nested(&'a [Vec<u32>]),
+    /// One flat array with per-automaton offsets (packed engine).
+    Flat { vals: &'a [u32], off: &'a [usize] },
 }
 
 impl<'a> StateView<'a> {
+    pub(crate) fn nested(net: &'a Network, state: &'a NetState) -> Self {
+        StateView { net, locs: &state.locs, clocks: Clocks::Nested(&state.clocks) }
+    }
+
+    pub(crate) fn flat(
+        net: &'a Network,
+        locs: &'a [u16],
+        vals: &'a [u32],
+        off: &'a [usize],
+    ) -> Self {
+        StateView { net, locs, clocks: Clocks::Flat { vals, off } }
+    }
     /// Whether automaton `automaton` (by name) is in location `loc`.
     ///
     /// # Panics
@@ -57,7 +92,7 @@ impl<'a> StateView<'a> {
         let l = a
             .location_id(loc)
             .unwrap_or_else(|| panic!("automaton {automaton} has no location {loc}"));
-        self.state.locs[i] as usize == l.0
+        self.locs[i] as usize == l.0
     }
 
     /// The (capped) value of a clock.
@@ -78,7 +113,10 @@ impl<'a> StateView<'a> {
             .iter()
             .position(|n| n == clock)
             .unwrap_or_else(|| panic!("automaton {automaton} has no clock {clock}"));
-        self.state.clocks[i][c]
+        match self.clocks {
+            Clocks::Nested(clocks) => clocks[i][c],
+            Clocks::Flat { vals, off } => vals[off[i] + c],
+        }
     }
 }
 
@@ -316,13 +354,35 @@ impl Network {
     }
 
     /// Checks that no reachable state satisfies `bad`, exploring at
-    /// most `max_states` distinct states.
+    /// most `max_states` distinct states. Runs on the packed-state
+    /// engine in [`ExploreMode::Auto`].
     pub fn check_safety(
         &self,
-        bad: impl Fn(&StateView<'_>) -> bool,
+        bad: impl Fn(&StateView<'_>) -> bool + Sync,
         max_states: usize,
     ) -> CheckOutcome {
-        self.explore(max_states, |view, _| {
+        self.check_safety_in(bad, max_states, ExploreMode::Auto)
+    }
+
+    /// [`Self::check_safety`] with an explicit [`ExploreMode`].
+    pub fn check_safety_in(
+        &self,
+        bad: impl Fn(&StateView<'_>) -> bool + Sync,
+        max_states: usize,
+        mode: ExploreMode,
+    ) -> CheckOutcome {
+        self.check_safety_stats(bad, max_states, mode).0
+    }
+
+    /// [`Self::check_safety`] returning exploration statistics
+    /// alongside the verdict (for benches and perf baselines).
+    pub fn check_safety_stats(
+        &self,
+        bad: impl Fn(&StateView<'_>) -> bool + Sync,
+        max_states: usize,
+        mode: ExploreMode,
+    ) -> (CheckOutcome, ExploreStats) {
+        Engine::new(self, 1).explore(max_states, mode, &|view: &StateView<'_>, _| {
             if bad(view) {
                 MonitorVerdict::Bad
             } else {
@@ -333,42 +393,94 @@ impl Network {
 
     /// Checks "whenever `p` holds, `q` holds within `deadline` time
     /// units" over all reachable behaviours. The obligation is tracked
-    /// through the exploration as part of the state.
+    /// through the exploration as part of the state. Runs on the
+    /// packed-state engine in [`ExploreMode::Auto`].
     pub fn check_bounded_response(
+        &self,
+        p: impl Fn(&StateView<'_>) -> bool + Sync,
+        q: impl Fn(&StateView<'_>) -> bool + Sync,
+        deadline: u32,
+        max_states: usize,
+    ) -> CheckOutcome {
+        self.check_bounded_response_in(p, q, deadline, max_states, ExploreMode::Auto)
+    }
+
+    /// [`Self::check_bounded_response`] with an explicit
+    /// [`ExploreMode`].
+    pub fn check_bounded_response_in(
+        &self,
+        p: impl Fn(&StateView<'_>) -> bool + Sync,
+        q: impl Fn(&StateView<'_>) -> bool + Sync,
+        deadline: u32,
+        max_states: usize,
+        mode: ExploreMode,
+    ) -> CheckOutcome {
+        self.check_bounded_response_stats(p, q, deadline, max_states, mode).0
+    }
+
+    /// [`Self::check_bounded_response`] returning exploration
+    /// statistics alongside the verdict.
+    pub fn check_bounded_response_stats(
+        &self,
+        p: impl Fn(&StateView<'_>) -> bool + Sync,
+        q: impl Fn(&StateView<'_>) -> bool + Sync,
+        deadline: u32,
+        max_states: usize,
+        mode: ExploreMode,
+    ) -> (CheckOutcome, ExploreStats) {
+        let monitor = bounded_monitor(p, q, deadline);
+        Engine::new(self, u64::from(deadline) + 2).explore(max_states, mode, &monitor)
+    }
+
+    /// First-generation [`Self::check_safety`]: clones whole states
+    /// into a `HashMap`-backed visited set. Kept as the differential
+    /// oracle the packed engine is tested against.
+    pub fn check_safety_reference(
+        &self,
+        bad: impl Fn(&StateView<'_>) -> bool,
+        max_states: usize,
+    ) -> CheckOutcome {
+        self.explore_reference(max_states, |view, _| {
+            if bad(view) {
+                MonitorVerdict::Bad
+            } else {
+                MonitorVerdict::Ok(None)
+            }
+        })
+    }
+
+    /// First-generation [`Self::check_bounded_response`]; see
+    /// [`Self::check_safety_reference`].
+    pub fn check_bounded_response_reference(
         &self,
         p: impl Fn(&StateView<'_>) -> bool,
         q: impl Fn(&StateView<'_>) -> bool,
         deadline: u32,
         max_states: usize,
     ) -> CheckOutcome {
-        self.explore(max_states, move |view, pending| {
-            // An obligation older than the deadline is a violation even
-            // if `q` holds *now* — it arrived too late.
-            if matches!(pending, Some(age) if age > deadline) {
-                return MonitorVerdict::Bad;
-            }
-            // Q at or before the deadline discharges the obligation.
-            let pending = if q(view) { None } else { pending };
-            match pending {
-                Some(age) => MonitorVerdict::Ok(Some(age)),
-                None => {
-                    if p(view) && !q(view) {
-                        MonitorVerdict::Ok(Some(0))
-                    } else {
-                        MonitorVerdict::Ok(None)
-                    }
-                }
-            }
-        })
+        self.explore_reference(max_states, bounded_monitor(p, q, deadline))
     }
 
-    fn explore(
+    /// The packed-state layout this network's checker runs on. `None`
+    /// for plain safety checks; `Some(deadline)` when a
+    /// bounded-response obligation rides along in the state. Exposed so
+    /// tests can round-trip the encoding directly.
+    pub fn packed_layout(&self, deadline: Option<u32>) -> PackedLayout {
+        PackedLayout::new(self, deadline.map_or(1, |d| u64::from(d) + 2))
+    }
+
+    /// Per-automaton clock ceilings (parallel to [`Self::automata`]).
+    pub(crate) fn ceilings(&self) -> &[Vec<u32>] {
+        &self.ceilings
+    }
+
+    fn explore_reference(
         &self,
         max_states: usize,
         monitor: impl Fn(&StateView<'_>, Option<u32>) -> MonitorVerdict,
     ) -> CheckOutcome {
         let init = self.initial_state();
-        let init_verdict = monitor(&StateView { net: self, state: &init }, None);
+        let init_verdict = monitor(&StateView::nested(self, &init), None);
         let init_pending = match init_verdict {
             MonitorVerdict::Bad => {
                 return CheckOutcome::Violated { trace: Trace { steps: vec![] }, states: 1 }
@@ -387,7 +499,7 @@ impl Network {
                     (Step::Delay, Some(a)) => Some(a + 1),
                     (_, p) => p,
                 };
-                let verdict = monitor(&StateView { net: self, state: &next }, aged);
+                let verdict = monitor(&StateView::nested(self, &next), aged);
                 let pending = match verdict {
                     MonitorVerdict::Bad => {
                         let mut steps = vec![step.clone()];
@@ -425,7 +537,7 @@ impl Network {
     /// Renders a state view factory for ad-hoc inspection (used by
     /// tests and diagnostics).
     pub fn view<'a>(&'a self, state: &'a NetState) -> StateView<'a> {
-        StateView { net: self, state }
+        StateView::nested(self, state)
     }
 
     /// Replays a trace from the initial state, returning the state it
@@ -442,9 +554,41 @@ impl Network {
     }
 }
 
-enum MonitorVerdict {
+/// What a state monitor concluded about one (state, obligation) pair.
+pub(crate) enum MonitorVerdict {
+    /// No violation; carries the obligation age to store in the state.
     Ok(Option<u32>),
+    /// The property is violated here.
     Bad,
+}
+
+/// The bounded-response monitor shared by the packed and reference
+/// engines: tracks a pending "respond by `deadline`" obligation through
+/// the exploration.
+fn bounded_monitor(
+    p: impl Fn(&StateView<'_>) -> bool,
+    q: impl Fn(&StateView<'_>) -> bool,
+    deadline: u32,
+) -> impl Fn(&StateView<'_>, Option<u32>) -> MonitorVerdict {
+    move |view, pending| {
+        // An obligation older than the deadline is a violation even
+        // if `q` holds *now* — it arrived too late.
+        if matches!(pending, Some(age) if age > deadline) {
+            return MonitorVerdict::Bad;
+        }
+        // Q at or before the deadline discharges the obligation.
+        let pending = if q(view) { None } else { pending };
+        match pending {
+            Some(age) => MonitorVerdict::Ok(Some(age)),
+            None => {
+                if p(view) && !q(view) {
+                    MonitorVerdict::Ok(Some(0))
+                } else {
+                    MonitorVerdict::Ok(None)
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

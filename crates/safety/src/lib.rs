@@ -7,6 +7,9 @@
 //!   channel synchronization.
 //! * [`checker`] — explicit-state reachability and bounded-response
 //!   model checking with shortest counterexample traces.
+//! * [`pack`] — the checker's packed-state exploration core: bit-packed
+//!   states interned in an arena, with deterministic layer-parallel
+//!   BFS.
 //! * [`models`] — verification models of the PCA safety interlock,
 //!   including seeded design defects (mutants) for experiment E5.
 //! * [`executor`] — deterministic interpretation of a verified
@@ -41,6 +44,7 @@ pub mod executor;
 pub mod gsn;
 pub mod hazard;
 pub mod models;
+pub mod pack;
 pub mod requirements;
 
 pub use assurance::build_assurance_case;
@@ -50,6 +54,7 @@ pub use executor::{AutomatonExecutor, ExecEvent, NotEnabled};
 pub use gsn::{AssuranceCase, GsnIssue, NodeId, NodeKind};
 pub use hazard::{classify, Hazard, HazardLog, Likelihood, Mitigation, RiskClass, Severity};
 pub use models::PcaModelVariant;
+pub use pack::{ExploreMode, ExploreStats, PackedLayout};
 pub use requirements::{
     pca_requirements, Evidence, SafetyRequirement, TraceIssue, TraceabilityMatrix,
     VerificationMethod,

@@ -15,6 +15,7 @@
 
 use crate::automaton::{Action, Automaton, Guard, LocId};
 use crate::checker::Network;
+use crate::pack::{ExploreMode, ExploreStats};
 use serde::{Deserialize, Serialize};
 
 /// Detection latency bound of the monitor (time units).
@@ -286,6 +287,40 @@ pub fn check_pca_variant(
 ) -> crate::checker::CheckOutcome {
     let net = pca_model(variant);
     net.check_bounded_response(
+        |v| v.in_location("monitor", "Breached"),
+        |v| v.in_location("pump", "Stopped"),
+        variant.deadline(),
+        max_states,
+    )
+}
+
+/// [`check_pca_variant`] with an explicit [`ExploreMode`], also
+/// returning the exploration statistics (states interned, arena bytes,
+/// BFS shape) for perf reporting.
+pub fn check_pca_variant_stats(
+    variant: PcaModelVariant,
+    max_states: usize,
+    mode: ExploreMode,
+) -> (crate::checker::CheckOutcome, ExploreStats) {
+    let net = pca_model(variant);
+    net.check_bounded_response_stats(
+        |v| v.in_location("monitor", "Breached"),
+        |v| v.in_location("pump", "Stopped"),
+        variant.deadline(),
+        max_states,
+        mode,
+    )
+}
+
+/// [`check_pca_variant`] on the retained first-generation engine —
+/// the differential oracle for conformance tests and before/after
+/// benchmarks.
+pub fn check_pca_variant_reference(
+    variant: PcaModelVariant,
+    max_states: usize,
+) -> crate::checker::CheckOutcome {
+    let net = pca_model(variant);
+    net.check_bounded_response_reference(
         |v| v.in_location("monitor", "Breached"),
         |v| v.in_location("pump", "Stopped"),
         variant.deadline(),

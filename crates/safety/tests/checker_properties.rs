@@ -3,6 +3,7 @@
 
 use mcps_safety::automaton::{Action, Automaton, Guard, LocId};
 use mcps_safety::checker::{CheckOutcome, Network};
+use mcps_safety::pack::ExploreMode;
 use proptest::prelude::*;
 
 /// Strategy: a random automaton with `n_locs` locations, one clock,
@@ -40,6 +41,47 @@ fn arb_network() -> impl Strategy<Value = Network> {
             .into_iter()
             .enumerate()
             .map(|(i, (n_locs, edges, inv))| arb_automaton(format!("a{i}"), n_locs, edges, inv))
+            .collect();
+        Network::new(automata)
+    })
+}
+
+/// Like [`arb_automaton`] but each edge may also be a send or receive
+/// on one of two shared channels, so networks exercise rendezvous.
+fn arb_sync_automaton(
+    name: String,
+    n_locs: usize,
+    edges: Vec<(usize, usize, u32, bool, u8)>,
+) -> Automaton {
+    let mut b = Automaton::builder(&name);
+    let x = b.clock("x");
+    let locs: Vec<LocId> = (0..n_locs).map(|i| b.location(&format!("L{i}"))).collect();
+    for (i, (from, to, bound, reset, act)) in edges.into_iter().enumerate() {
+        let from = locs[from % n_locs];
+        let to = locs[to % n_locs];
+        let resets = if reset { vec![x] } else { vec![] };
+        let action = match act % 5 {
+            0 | 1 => Action::Internal,
+            2 => Action::Send(format!("c{}", act % 2)),
+            3 => Action::Recv(format!("c{}", act % 2)),
+            _ => Action::Send("c0".into()),
+        };
+        b.edge(&format!("e{i}"), from, to, Guard::Ge(x, bound % 4), action, resets);
+    }
+    b.build()
+}
+
+/// A network of 2–3 automata with internal, send and receive edges.
+fn arb_sync_network() -> impl Strategy<Value = Network> {
+    let automaton = (
+        2usize..4,
+        proptest::collection::vec((0usize..4, 0usize..4, 0u32..4, any::<bool>(), 0u8..5), 1..5),
+    );
+    proptest::collection::vec(automaton, 2..4).prop_map(|specs| {
+        let automata = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (n_locs, edges))| arb_sync_automaton(format!("a{i}"), n_locs, edges))
             .collect();
         Network::new(automata)
     })
@@ -89,6 +131,69 @@ proptest! {
                 other => prop_assert!(false, "lost violation: {:?}", other),
             }
         }
+    }
+
+    /// Packed encode/decode is the identity on every reachable state,
+    /// for every obligation age the layout admits.
+    #[test]
+    fn packed_encoding_roundtrips(net in arb_sync_network(), deadline in 0u32..7) {
+        let layout = net.packed_layout(Some(deadline));
+        let mut frontier = vec![net.initial_state()];
+        let mut seen = 0usize;
+        while let Some(s) = frontier.pop() {
+            seen += 1;
+            if seen > 64 {
+                break;
+            }
+            for pending in (0..=deadline).map(Some).chain([None]) {
+                let words = layout.encode(&s, pending);
+                prop_assert_eq!(words.len(), layout.words_per_state());
+                let (back, p) = layout.decode(&words);
+                prop_assert_eq!(&back, &s);
+                prop_assert_eq!(p, pending);
+            }
+            if seen < 32 {
+                frontier.extend(net.successors(&s).into_iter().map(|(_, n)| n));
+            }
+        }
+    }
+
+    /// The packed engine agrees with the reference engine on verdict,
+    /// state count and counterexample — full `CheckOutcome` equality —
+    /// for plain safety checks on rendezvous-heavy random networks.
+    #[test]
+    fn packed_safety_matches_reference(net in arb_sync_network()) {
+        let bad = |v: &mcps_safety::checker::StateView<'_>| v.in_location("a0", "L1");
+        let reference = net.check_safety_reference(bad, 100_000);
+        let packed = net.check_safety_in(bad, 100_000, ExploreMode::Serial);
+        prop_assert_eq!(&reference, &packed);
+        let parallel = net.check_safety_in(bad, 100_000, ExploreMode::Parallel);
+        prop_assert_eq!(&reference, &parallel);
+    }
+
+    /// Same for bounded response, where the obligation age is part of
+    /// the packed state.
+    #[test]
+    fn packed_bounded_response_matches_reference(net in arb_sync_network(), d in 0u32..5) {
+        let p = |v: &mcps_safety::checker::StateView<'_>| v.in_location("a0", "L0");
+        let q = |v: &mcps_safety::checker::StateView<'_>| v.in_location("a1", "L1");
+        let reference = net.check_bounded_response_reference(p, q, d, 100_000);
+        let packed = net.check_bounded_response_in(p, q, d, 100_000, ExploreMode::Serial);
+        prop_assert_eq!(&reference, &packed);
+        let parallel = net.check_bounded_response_in(p, q, d, 100_000, ExploreMode::Parallel);
+        prop_assert_eq!(&reference, &parallel);
+    }
+
+    /// Budget exhaustion fires at exactly the same point in both
+    /// engines — the packed engine must not intern more or fewer
+    /// states before giving up.
+    #[test]
+    fn packed_exhaustion_matches_reference(net in arb_sync_network(), budget in 1usize..40) {
+        let reference = net.check_safety_reference(|_| false, budget);
+        let packed = net.check_safety_in(|_| false, budget, ExploreMode::Serial);
+        prop_assert_eq!(&reference, &packed);
+        let parallel = net.check_safety_in(|_| false, budget, ExploreMode::Parallel);
+        prop_assert_eq!(&reference, &parallel);
     }
 
     /// Bounded response with an enormous deadline follows from plain

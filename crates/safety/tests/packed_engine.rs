@@ -1,0 +1,91 @@
+//! Conformance tests: the packed-state engine must be observationally
+//! identical to the retained first-generation (reference) engine on the
+//! E5 verification models — same verdicts, same state counts, same
+//! counterexample traces — and the layer-parallel scheduler must be
+//! bit-identical to serial exploration.
+
+use mcps_safety::models::{
+    check_pca_variant_reference, check_pca_variant_stats, pca_model, PcaModelVariant,
+};
+use mcps_safety::pack::ExploreMode;
+use mcps_safety::CheckOutcome;
+
+const BUDGET: usize = 2_000_000;
+
+/// Every E5 variant (correct designs and seeded mutants): full
+/// `CheckOutcome` equality between the packed engine and the reference
+/// engine, in every exploration mode.
+#[test]
+fn e5_variants_match_reference_in_all_modes() {
+    for variant in PcaModelVariant::ALL {
+        let reference = check_pca_variant_reference(variant, BUDGET);
+        for mode in [ExploreMode::Serial, ExploreMode::Parallel, ExploreMode::Auto] {
+            let (packed, stats) = check_pca_variant_stats(variant, BUDGET, mode);
+            assert_eq!(
+                reference, packed,
+                "{variant:?} in {mode:?} diverged from the reference engine"
+            );
+            assert!(stats.states > 0, "{variant:?}: no states interned");
+            assert_eq!(
+                stats.arena_bytes,
+                stats.states * stats.words_per_state * 8,
+                "{variant:?}: arena size inconsistent with state count"
+            );
+        }
+    }
+}
+
+/// The mutants' counterexamples found by the packed engine replay as
+/// genuine behaviours ending in a violation-relevant state.
+#[test]
+fn e5_mutant_counterexamples_replay() {
+    for variant in PcaModelVariant::ALL.into_iter().filter(|v| !v.expected_safe()) {
+        let (out, _) = check_pca_variant_stats(variant, BUDGET, ExploreMode::Auto);
+        let trace = out.trace().unwrap_or_else(|| panic!("{variant:?} should be violated"));
+        let net = pca_model(variant);
+        assert!(net.replay(trace).is_some(), "{variant:?}: counterexample does not replay");
+    }
+}
+
+/// Serial and parallel exploration agree bit-for-bit on verdicts,
+/// traces and state counts — including under a budget that exhausts
+/// mid-search, where insertion order determines the cutoff point.
+#[test]
+fn serial_and_parallel_bit_identical_under_exhaustion() {
+    for variant in PcaModelVariant::ALL {
+        for budget in [100, 5_000, 100_000] {
+            let net = pca_model(variant);
+            let check = |mode| {
+                net.check_bounded_response_in(
+                    |v| v.in_location("monitor", "Breached"),
+                    |v| v.in_location("pump", "Stopped"),
+                    variant.deadline(),
+                    budget,
+                    mode,
+                )
+            };
+            let serial = check(ExploreMode::Serial);
+            let parallel = check(ExploreMode::Parallel);
+            assert_eq!(serial, parallel, "{variant:?} budget {budget}: modes diverged");
+        }
+    }
+}
+
+/// The safe designs still verify and the state counts are stable —
+/// a regression fence for the exploration semantics (a changed count
+/// means the successor relation or dedup changed).
+#[test]
+fn verdicts_and_state_counts_are_stable() {
+    for variant in PcaModelVariant::ALL {
+        let (out, stats) = check_pca_variant_stats(variant, BUDGET, ExploreMode::Auto);
+        assert_eq!(out.holds(), variant.expected_safe(), "{variant:?}: verdict flipped ({out:?})");
+        match out {
+            CheckOutcome::Holds { states } | CheckOutcome::Violated { states, .. } => {
+                assert_eq!(states, stats.states, "{variant:?}: outcome/stats state mismatch");
+            }
+            CheckOutcome::Exhausted { budget } => {
+                panic!("{variant:?}: exhausted at {budget} — raise BUDGET")
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Workspace-local stand-in for `fxhash` / `rustc-hash`.
+//!
+//! The Fx hash is the non-cryptographic multiply-rotate hash used by
+//! rustc and Firefox: a few cycles per word, no per-hasher allocation,
+//! and excellent distribution on the small dense keys (state ids,
+//! packed word vectors) the model checker feeds it. The workspace uses
+//! it where SipHash's DoS resistance buys nothing — hot visited-set
+//! lookups keyed by data the process generated itself.
+//!
+//! The build environment has no registry access, so this crate
+//! implements the API subset the workspace needs: [`FxHasher`],
+//! [`FxBuildHasher`], and the [`FxHashMap`]/[`FxHashSet`] aliases.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The 64-bit Fx multiplier (a random odd constant with good bit mix).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Builds [`FxHasher`]s (zero-sized, no random state).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The Fx streaming hasher: `hash = (hash rotl 5 ^ word) * SEED` per
+/// machine word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// Hashes one `u64` slice without constructing a hasher at the call
+/// site — the form the checker's interned visited set uses.
+#[inline]
+pub fn hash_words(words: &[u64]) -> u64 {
+    let mut h = FxHasher::default();
+    for &w in words {
+        h.add_to_hash(w);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hashers() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write(b"packed state");
+        b.write(b"packed state");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn word_hash_matches_streaming_u64s() {
+        let words = [3u64, 1 << 40, u64::MAX];
+        let mut h = FxHasher::default();
+        for &w in &words {
+            h.write_u64(w);
+        }
+        assert_eq!(hash_words(&words), h.finish());
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash_words(&[0, 1]), hash_words(&[1, 0]));
+        assert_ne!(hash_words(&[1]), hash_words(&[1, 0]));
+        assert_ne!(hash_words(&[42]), hash_words(&[43]));
+        // Known Fx property, relied on nowhere: an all-zero prefix
+        // hashes to 0 regardless of length. Tables using this hash must
+        // compare keys on collision (ours do).
+        assert_eq!(hash_words(&[0]), hash_words(&[0, 0]));
+    }
+
+    #[test]
+    fn map_alias_works() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(!s.insert(9));
+    }
+
+    #[test]
+    fn partial_tail_bytes_hash() {
+        // 11 bytes: one full chunk + 3-byte remainder.
+        let mut h = FxHasher::default();
+        h.write(b"elevenbytes");
+        let full = h.finish();
+        let mut g = FxHasher::default();
+        g.write(b"elevenbytez");
+        assert_ne!(full, g.finish());
+    }
+}
