@@ -12,6 +12,9 @@
 #      reference engine, serial == parallel (bit-identical)
 #   7. checker smoke budget                     — bench_checker fails if
 #      state_space_bound20 regresses past a generous wall-clock ceiling
+#   8. network fabric smoke budget              — bench_fabric fails if
+#      the routing/256 fan-out workload regresses past its ceiling, and
+#      BENCH_net.json must be emitted
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -41,5 +44,11 @@ echo "== checker smoke budget =="
 cargo build --release -q -p mcps-bench --bin bench_checker
 ./target/release/bench_checker --out target/BENCH_checker.json --max-ms 10000 > /dev/null
 echo "state_space_bound20 under the 10s ceiling (target/BENCH_checker.json)"
+
+echo "== network fabric smoke budget =="
+cargo build --release -q -p mcps-bench --bin bench_fabric
+./target/release/bench_fabric --out target/BENCH_net.json --max-ms 5000 > /dev/null
+test -s target/BENCH_net.json || { echo "BENCH_net.json missing"; exit 1; }
+echo "routing/256 under the 5s ceiling (target/BENCH_net.json)"
 
 echo "CI OK"

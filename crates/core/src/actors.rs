@@ -11,7 +11,7 @@ use mcps_device::monitor::VitalsMonitor;
 use mcps_device::pump::{BolusDecision, PcaPump};
 use mcps_device::ventilator::Ventilator;
 use mcps_device::xray::XRayMachine;
-use mcps_net::fabric::EndpointId;
+use mcps_net::fabric::{EndpointId, Topic};
 use mcps_patient::vitals::VitalKind;
 use mcps_sim::actor::{Actor, ActorId};
 use mcps_sim::kernel::Context;
@@ -205,9 +205,18 @@ pub struct MonitorActor {
     endpoint: EndpointId,
     fault: FaultPlan,
     scope: String,
+    /// Pre-built per-kind vitals topics for the current scope, so the
+    /// hot publish path clones an `Arc<str>` instead of formatting a
+    /// fresh topic name per sample.
+    vitals_topics: Vec<(VitalKind, Topic)>,
     next_announce: Option<SimTime>,
     last_values: BTreeMap<VitalKind, f64>,
     published: u64,
+}
+
+/// One vitals topic per kind under `scope`.
+fn vitals_topics_for(scope: &str) -> Vec<(VitalKind, Topic)> {
+    VitalKind::ALL.iter().map(|&k| (k, topics::vitals_scoped(scope, k))).collect()
 }
 
 impl MonitorActor {
@@ -226,6 +235,7 @@ impl MonitorActor {
             endpoint,
             fault,
             scope: String::new(),
+            vitals_topics: vitals_topics_for(""),
             next_announce: None,
             last_values: BTreeMap::new(),
             published: 0,
@@ -235,6 +245,7 @@ impl MonitorActor {
     /// Sets the topic scope (bed id) this monitor publishes under.
     pub fn with_scope(mut self, scope: &str) -> Self {
         self.scope = scope.to_owned();
+        self.vitals_topics = vitals_topics_for(scope);
         self
     }
 
@@ -245,11 +256,17 @@ impl MonitorActor {
 
     fn publish(&mut self, ctx: &mut Context<'_, IceMsg>, kind: VitalKind, value: f64, at: SimTime) {
         self.published += 1;
+        let topic = self
+            .vitals_topics
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, t)| t.clone())
+            .unwrap_or_else(|| topics::vitals_scoped(&self.scope, kind));
         ctx.send(
             self.netctl,
             IceMsg::Net(NetOp::Send {
                 from: self.endpoint,
-                to: NetAddress::Topic(topics::vitals_scoped(&self.scope, kind)),
+                to: NetAddress::Topic(topic),
                 payload: NetPayload::Data { kind, value, sampled_at: at },
             }),
         );

@@ -6,18 +6,25 @@
 //! every message. All network traffic in an ICE simulation flows
 //! through this actor.
 
-use mcps_net::fabric::{EndpointId, Fabric, Topic};
+use mcps_net::fabric::{EndpointId, Fabric, PlannedDelivery, Topic};
 use mcps_sim::actor::{Actor, ActorId};
 use mcps_sim::kernel::Context;
-use std::collections::BTreeMap;
 
 use crate::msg::{IceMsg, NetAddress, NetOp};
 
 /// The network controller actor.
+///
+/// Planning is zero-alloc in steady state: the controller keeps one
+/// scratch buffer of [`PlannedDelivery`] entries that the fabric's
+/// `publish_into` fills per message, and the endpoint→actor route
+/// table is a dense `Vec` indexed by endpoint id (endpoint ids are
+/// dense by construction), so delivering a planned message is an array
+/// index, not a map walk.
 #[derive(Debug)]
 pub struct NetworkController {
     fabric: Fabric,
-    routes: BTreeMap<EndpointId, ActorId>,
+    routes: Vec<Option<ActorId>>,
+    scratch: Vec<PlannedDelivery>,
     sent: u64,
     delivered: u64,
 }
@@ -26,12 +33,21 @@ impl NetworkController {
     /// Wraps a configured fabric. Endpoint→actor routes are registered
     /// afterwards with [`Self::bind`].
     pub fn new(fabric: Fabric) -> Self {
-        NetworkController { fabric, routes: BTreeMap::new(), sent: 0, delivered: 0 }
+        NetworkController { fabric, routes: Vec::new(), scratch: Vec::new(), sent: 0, delivered: 0 }
     }
 
     /// Binds an endpoint to the actor that should receive its traffic.
     pub fn bind(&mut self, endpoint: EndpointId, actor: ActorId) {
-        self.routes.insert(endpoint, actor);
+        let i = endpoint.index() as usize;
+        if self.routes.len() <= i {
+            self.routes.resize(i + 1, None);
+        }
+        self.routes[i] = Some(actor);
+    }
+
+    /// The actor bound to `endpoint`, if any.
+    fn route(&self, endpoint: EndpointId) -> Option<ActorId> {
+        self.routes.get(endpoint.index() as usize).copied().flatten()
     }
 
     /// The underlying fabric (e.g. for stats or late subscriptions).
@@ -72,14 +88,24 @@ impl Actor<IceMsg> for NetworkController {
         };
         self.sent += 1;
         let now = ctx.now();
-        let planned: Vec<mcps_net::fabric::PlannedDelivery> = match &to {
+        // Plan the whole message into the reusable scratch buffer
+        // (taken out of `self` so the fabric and the route table can be
+        // borrowed independently), then batch the planned deliveries
+        // onto the scheduler.
+        let mut planned = std::mem::take(&mut self.scratch);
+        planned.clear();
+        match &to {
             NetAddress::Endpoint(ep) => {
-                self.fabric.unicast(from, *ep, now, ctx.rng()).into_iter().collect()
+                if let Some(d) = self.fabric.unicast(from, *ep, now, ctx.rng()) {
+                    planned.push(d);
+                }
             }
-            NetAddress::Topic(topic) => self.fabric.publish(from, topic, now, ctx.rng()),
-        };
-        for d in planned {
-            let Some(&actor) = self.routes.get(&d.to) else {
+            NetAddress::Topic(topic) => {
+                self.fabric.publish_into(from, topic, now, ctx.rng(), &mut planned);
+            }
+        }
+        for &d in &planned {
+            let Some(actor) = self.route(d.to) else {
                 ctx.trace("net", format!("no route for {}", d.to));
                 continue;
             };
@@ -90,6 +116,7 @@ impl Actor<IceMsg> for NetworkController {
                 IceMsg::Net(NetOp::Deliver { from, payload: payload.clone() }),
             );
         }
+        self.scratch = planned;
     }
 }
 

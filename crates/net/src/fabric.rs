@@ -5,13 +5,57 @@
 //! controller (in `mcps-core`) consults the fabric and schedules the
 //! resulting deliveries on the simulation kernel. This keeps the fabric
 //! independently testable and reusable under any executive.
+//!
+//! # Dense routing
+//!
+//! The routing core is built like the packed model checker rather than
+//! like a configuration store, because it *is* the hot path: every
+//! vital-sign sample in every scenario flows through [`Fabric::publish`].
+//!
+//! * **Topics are interned.** The first subscription (or
+//!   [`Fabric::intern_topic`]) assigns a dense [`TopicId`]; subscriber
+//!   sets live in a `Vec<Vec<EndpointId>>` indexed by that id, each set
+//!   kept sorted ascending. Routing a publish is one Fx-hash lookup of
+//!   the topic name plus a linear walk of a contiguous slice — no
+//!   string `Ord` comparisons, no tree chasing.
+//! * **Links are packed records.** QoS override, outage plan and
+//!   [`LinkStats`] of a directed link are one record
+//!   in a `Vec`, found via an Fx-hashed `u64` key
+//!   (`from << 32 | to`). A unicast fetches its record once and does
+//!   everything on it, where the tree-routed baseline walked `links`,
+//!   `outages` and `stats` separately (five walks per message).
+//! * **Planning is zero-alloc.** [`Fabric::publish_into`] appends
+//!   planned deliveries to a caller-owned scratch buffer and iterates
+//!   the subscriber slice directly; the allocating [`Fabric::publish`]
+//!   is a convenience wrapper. The ICE network controller holds a
+//!   reusable scratch buffer, so steady-state publishing performs no
+//!   heap allocation at all.
+//! * **Routes are cached and pre-resolved.** Each topic keeps the
+//!   resolved fan-out of its most recent publisher: link record index,
+//!   effective QoS (override or default), the common ≤1-window outage
+//!   plan inlined, and — for links with zero loss and zero jitter — the
+//!   precomputed constant delay that [`LinkQos::sample`] would return.
+//!   A configuration generation counter invalidates these snapshots on
+//!   any `set_link`/`set_outages`/`set_default_qos`, so steady-state
+//!   fan-out is a walk over contiguous pre-resolved hops with zero
+//!   hash lookups and no per-message float round-trips on
+//!   deterministic links (the RNG draw is still consumed, keeping the
+//!   stream in lockstep with the reference).
+//!
+//! Subscriber order (ascending [`EndpointId`]) and per-subscriber QoS
+//! sampling are identical to the tree-routed
+//! [`ReferenceFabric`](crate::reference::ReferenceFabric), so RNG
+//! consumption — and therefore every scenario outcome — is byte-for-byte
+//! unchanged. Property tests in `tests/dense_vs_reference.rs` and the
+//! golden-output pins in the workspace `tests/fabric_golden.rs` hold the
+//! two engines to equivalence.
 
 use crate::qos::{Delivery, LinkQos, OutagePlan};
+use fxhash::FxHashMap;
 use mcps_sim::stats::Welford;
-use mcps_sim::time::SimTime;
+use mcps_sim::time::{SimDuration, SimTime};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -24,11 +68,38 @@ impl EndpointId {
     pub const fn index(self) -> u32 {
         self.0
     }
+
+    /// Builds an id from a raw index (crate-internal: ids are normally
+    /// issued by [`Fabric::add_endpoint`]).
+    pub(crate) const fn from_index(index: u32) -> Self {
+        EndpointId(index)
+    }
 }
 
 impl fmt::Display for EndpointId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "ep#{}", self.0)
+    }
+}
+
+/// Identifies an interned topic within one [`Fabric`].
+///
+/// Dense (`0..topic_count`), assigned on first subscription or by
+/// [`Fabric::intern_topic`]. Holding a `TopicId` lets a hot caller skip
+/// the name lookup entirely via [`Fabric::publish_topic_into`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TopicId(u32);
+
+impl TopicId {
+    /// The raw index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TopicId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "topic#{}", self.0)
     }
 }
 
@@ -56,6 +127,11 @@ impl Topic {
     /// The topic name.
     pub fn as_str(&self) -> &str {
         &self.0
+    }
+
+    /// The shared name storage (used by the interning registry).
+    fn arc(&self) -> Arc<str> {
+        Arc::clone(&self.0)
     }
 }
 
@@ -155,15 +231,107 @@ pub struct PlannedDelivery {
     pub at: SimTime,
 }
 
+/// Configuration of one directed link: the optional QoS override
+/// (`None` = track the fabric's default at send time) and the outage
+/// plan. Statistics live in a parallel array (see [`Fabric::stats`]) so
+/// the per-message counter writes stay on densely packed cache lines.
+#[derive(Debug, Clone, Default)]
+struct LinkConfig {
+    qos: Option<LinkQos>,
+    outages: OutagePlan,
+}
+
+/// How one hop's delivery fate is decided per message.
+///
+/// A link with zero loss and zero jitter is *deterministic*: its
+/// sampled delay is the same value every message, so the route cache
+/// precomputes it (both the [`SimDuration`] added to `now` and the
+/// seconds value pushed into the latency accumulator — bit-identical to
+/// what [`LinkQos::sample`] would produce, because both are pure
+/// functions of the constant base latency). The per-message RNG draw
+/// that [`bernoulli`](mcps_sim::rng::bernoulli) would consume is still
+/// made — as one raw `next_u64` — so the stream stays in lockstep with
+/// the reference engine; only the redundant float arithmetic is
+/// skipped. Lossy or jittery links sample in full.
+#[derive(Debug, Clone, Copy)]
+enum HopFate {
+    Deterministic { delay: SimDuration, delay_s: f64 },
+    Sampled { qos: LinkQos },
+}
+
+/// One resolved fan-out hop: everything a publish needs per subscriber,
+/// read from a single contiguous cache line.
+///
+/// `fate` resolves the *effective* QoS (override or the fabric
+/// default), and `window` inlines the common ≤1-window outage plan — an
+/// empty plan is encoded as the never-matching `(ZERO, ZERO)`; only
+/// plans with several windows fall back to the full [`OutagePlan`] via
+/// `multi_window`.
+#[derive(Debug, Clone)]
+struct RouteHop {
+    to: EndpointId,
+    link: u32,
+    multi_window: bool,
+    fate: HopFate,
+    window: (SimTime, SimTime),
+}
+
+/// Resolved fan-out routes of one topic for one publisher, in ascending
+/// receiver order (publisher excluded).
+///
+/// Link records are append-only and mutated in place, so cached indices
+/// stay valid; the resolved QoS and outage snapshots are guarded by
+/// `gen`, a copy of the fabric's configuration generation counter.
+/// The cache is rebuilt when the topic's subscriber set changes, when
+/// any link/default configuration changes (`gen` mismatch), or when a
+/// different endpoint publishes — in every scenario shape a data topic
+/// has exactly one publisher, so steady state is a pure array walk with
+/// zero hash lookups.
+#[derive(Debug, Clone)]
+struct TopicRoutes {
+    from: EndpointId,
+    gen: u64,
+    hops: Vec<RouteHop>,
+}
+
+/// Packs a directed link into the table key: `from` in the high word,
+/// `to` in the low word. Sorting by key equals sorting by `(from, to)`.
+#[inline]
+const fn link_key(from: EndpointId, to: EndpointId) -> u64 {
+    ((from.0 as u64) << 32) | to.0 as u64
+}
+
 /// Endpoints, directed links with QoS, outages, and topic subscriptions.
+///
+/// See the [module docs](self) for the dense-routing layout.
 #[derive(Debug, Clone, Default)]
 pub struct Fabric {
     names: Vec<String>,
     default_qos: LinkQos,
-    links: BTreeMap<(EndpointId, EndpointId), LinkQos>,
-    outages: BTreeMap<(EndpointId, EndpointId), OutagePlan>,
-    subs: BTreeMap<Topic, BTreeSet<EndpointId>>,
-    stats: BTreeMap<(EndpointId, EndpointId), LinkStats>,
+    /// Topic name → dense id. Fx-hashed: keys are short process-local
+    /// strings, DoS resistance buys nothing here.
+    topic_ids: FxHashMap<Arc<str>, TopicId>,
+    /// Interned topics by id (introspection / iteration).
+    topics: Vec<Topic>,
+    /// Subscriber sets by topic id, each sorted ascending so fan-out
+    /// order (and therefore RNG draw order) matches the tree-routed
+    /// reference exactly.
+    subs: Vec<Vec<EndpointId>>,
+    /// Per-topic resolved routes of the most recent publisher (`None`
+    /// until first publish or after a subscription change).
+    routes: Vec<Option<TopicRoutes>>,
+    /// Packed link key → index into `links` / `stats`.
+    link_index: FxHashMap<u64, u32>,
+    /// Link configuration in creation order; `stats[i]` and
+    /// `link_keys[i]` parallel `links[i]` (statistics are split out so
+    /// the hot counter writes land on contiguous cache lines; the
+    /// packed keys are kept for ordered aggregation).
+    links: Vec<LinkConfig>,
+    stats: Vec<LinkStats>,
+    link_keys: Vec<u64>,
+    /// Bumped on every configuration change (`set_link`, `set_outages`,
+    /// `set_default_qos`); route caches snapshot it.
+    cfg_gen: u64,
 }
 
 impl Fabric {
@@ -175,6 +343,7 @@ impl Fabric {
     /// Sets the QoS used by links without an explicit override.
     pub fn set_default_qos(&mut self, qos: LinkQos) {
         self.default_qos = qos;
+        self.cfg_gen += 1;
     }
 
     /// Registers an endpoint.
@@ -198,9 +367,27 @@ impl Fabric {
         self.names.len()
     }
 
+    /// Index of the record for `from → to`, creating it on first use.
+    #[inline]
+    fn link_record_index(&mut self, from: EndpointId, to: EndpointId) -> usize {
+        let key = link_key(from, to);
+        if let Some(&i) = self.link_index.get(&key) {
+            i as usize
+        } else {
+            let i = u32::try_from(self.links.len()).expect("too many links");
+            self.links.push(LinkConfig::default());
+            self.stats.push(LinkStats::default());
+            self.link_keys.push(key);
+            self.link_index.insert(key, i);
+            i as usize
+        }
+    }
+
     /// Overrides QoS on the directed link `from → to`.
     pub fn set_link(&mut self, from: EndpointId, to: EndpointId, qos: LinkQos) {
-        self.links.insert((from, to), qos);
+        let i = self.link_record_index(from, to);
+        self.links[i].qos = Some(qos);
+        self.cfg_gen += 1;
     }
 
     /// Overrides QoS symmetrically on both directions between `a` and `b`.
@@ -211,34 +398,89 @@ impl Fabric {
 
     /// Installs an outage plan on the directed link `from → to`.
     pub fn set_outages(&mut self, from: EndpointId, to: EndpointId, plan: OutagePlan) {
-        self.outages.insert((from, to), plan);
+        let i = self.link_record_index(from, to);
+        self.links[i].outages = plan;
+        self.cfg_gen += 1;
     }
 
     /// The effective QoS of `from → to`.
     pub fn link_qos(&self, from: EndpointId, to: EndpointId) -> LinkQos {
-        self.links.get(&(from, to)).copied().unwrap_or(self.default_qos)
+        self.link_index
+            .get(&link_key(from, to))
+            .and_then(|&i| self.links[i as usize].qos)
+            .unwrap_or(self.default_qos)
+    }
+
+    /// Interns `topic`, returning its dense id (stable for the lifetime
+    /// of the fabric). Idempotent; subscribing also interns.
+    pub fn intern_topic(&mut self, topic: &Topic) -> TopicId {
+        if let Some(&id) = self.topic_ids.get(topic.as_str()) {
+            return id;
+        }
+        let id = TopicId(u32::try_from(self.topics.len()).expect("too many topics"));
+        self.topic_ids.insert(topic.arc(), id);
+        self.topics.push(topic.clone());
+        self.subs.push(Vec::new());
+        self.routes.push(None);
+        id
+    }
+
+    /// The id of an already-interned topic, if any.
+    pub fn topic_id(&self, topic: &Topic) -> Option<TopicId> {
+        self.topic_ids.get(topic.as_str()).copied()
+    }
+
+    /// The interned topic with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this fabric.
+    pub fn topic(&self, id: TopicId) -> &Topic {
+        &self.topics[id.0 as usize]
+    }
+
+    /// Number of interned topics.
+    pub fn topic_count(&self) -> usize {
+        self.topics.len()
     }
 
     /// Subscribes `endpoint` to `topic`.
     pub fn subscribe(&mut self, endpoint: EndpointId, topic: Topic) {
-        self.subs.entry(topic).or_default().insert(endpoint);
+        let id = self.intern_topic(&topic);
+        let set = &mut self.subs[id.0 as usize];
+        if let Err(pos) = set.binary_search(&endpoint) {
+            set.insert(pos, endpoint);
+            self.routes[id.0 as usize] = None;
+        }
     }
 
     /// Removes a subscription (no-op if absent).
     pub fn unsubscribe(&mut self, endpoint: EndpointId, topic: &Topic) {
-        if let Some(set) = self.subs.get_mut(topic) {
-            set.remove(&endpoint);
+        if let Some(id) = self.topic_id(topic) {
+            let set = &mut self.subs[id.0 as usize];
+            if let Ok(pos) = set.binary_search(&endpoint) {
+                set.remove(pos);
+                self.routes[id.0 as usize] = None;
+            }
         }
     }
 
-    /// Current subscribers of `topic` (empty if none).
-    pub fn subscribers(&self, topic: &Topic) -> Vec<EndpointId> {
-        self.subs.get(topic).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    /// Current subscribers of `topic` in ascending id order (empty if
+    /// none). Borrows the interned subscriber set — no allocation.
+    pub fn subscribers(&self, topic: &Topic) -> impl Iterator<Item = EndpointId> + '_ {
+        self.topic_id(topic)
+            .map(|id| self.subs[id.0 as usize].as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .copied()
     }
 
     /// Plans the transmission of one unicast message sent at `now`.
     /// Returns `None` if the message is lost (loss or outage);
     /// statistics are updated either way.
+    ///
+    /// One link-table lookup per message: outage check, QoS sample and
+    /// all three statistics counters operate on the same record.
     pub fn unicast(
         &mut self,
         from: EndpointId,
@@ -246,31 +488,141 @@ impl Fabric {
         now: SimTime,
         rng: &mut impl RngCore,
     ) -> Option<PlannedDelivery> {
-        let stats = self.stats.entry((from, to)).or_default();
-        stats.sent += 1;
-        let down = self.outages.get(&(from, to)).is_some_and(|p| p.is_down(now));
+        let default_qos = self.default_qos;
+        let i = self.link_record_index(from, to);
+        let qos = self.links[i].qos.unwrap_or(default_qos);
+        let down = self.links[i].outages.is_down(now);
+        let st = &mut self.stats[i];
+        st.sent += 1;
         if down {
-            stats.dropped += 1;
+            st.dropped += 1;
             return None;
         }
-        let qos = self.links.get(&(from, to)).copied().unwrap_or(self.default_qos);
         match qos.sample(now, rng) {
             Delivery::Deliver { at } => {
-                let stats = self.stats.entry((from, to)).or_default();
-                stats.delivered += 1;
-                stats.latency.push((at - now).as_secs_f64());
+                st.delivered += 1;
+                st.latency.push((at - now).as_secs_f64());
                 Some(PlannedDelivery { to, at })
             }
             Delivery::Dropped => {
-                self.stats.entry((from, to)).or_default().dropped += 1;
+                st.dropped += 1;
                 None
             }
         }
     }
 
     /// Plans delivery of a published message to every subscriber of
-    /// `topic` except the publisher itself. Each subscriber's link is
-    /// sampled independently.
+    /// `topic` except the publisher itself, appending to `out`. Each
+    /// subscriber's link is sampled independently, in ascending
+    /// [`EndpointId`] order.
+    ///
+    /// This is the zero-alloc planning primitive: the caller owns (and
+    /// reuses) the output buffer, and the subscriber slice is iterated
+    /// in place.
+    pub fn publish_into(
+        &mut self,
+        from: EndpointId,
+        topic: &Topic,
+        now: SimTime,
+        rng: &mut impl RngCore,
+        out: &mut Vec<PlannedDelivery>,
+    ) {
+        if let Some(id) = self.topic_id(topic) {
+            self.publish_topic_into(from, id, now, rng, out);
+        }
+    }
+
+    /// Resolves the fan-out routes of topic `t` for publisher `from`:
+    /// link record index, effective QoS and outage fast path per
+    /// receiver, snapshotted at the current configuration generation.
+    fn build_routes(&mut self, t: usize, from: EndpointId) -> TopicRoutes {
+        let receivers: Vec<EndpointId> =
+            self.subs[t].iter().copied().filter(|&e| e != from).collect();
+        let gen = self.cfg_gen;
+        let default_qos = self.default_qos;
+        let hops = receivers
+            .into_iter()
+            .map(|to| {
+                let i = self.link_record_index(from, to);
+                let cfg = &self.links[i];
+                let qos = cfg.qos.unwrap_or(default_qos);
+                let fate = if qos.loss_prob == 0.0 && qos.jitter.is_zero() {
+                    // Same arithmetic as `LinkQos::sample` on constants.
+                    let delay = SimDuration::from_secs_f64(qos.base_latency.as_secs_f64().max(0.0));
+                    HopFate::Deterministic { delay, delay_s: delay.as_secs_f64() }
+                } else {
+                    HopFate::Sampled { qos }
+                };
+                let (window, multi_window) = match cfg.outages.windows() {
+                    [] => ((SimTime::ZERO, SimTime::ZERO), false),
+                    [w] => (*w, false),
+                    _ => ((SimTime::ZERO, SimTime::ZERO), true),
+                };
+                RouteHop { to, link: i as u32, multi_window, fate, window }
+            })
+            .collect();
+        TopicRoutes { from, gen, hops }
+    }
+
+    /// [`Fabric::publish_into`] for a pre-interned topic: skips even
+    /// the name lookup. Steady-state fan-out walks the topic's cached
+    /// route table — receiver and link record resolved once per
+    /// (topic, publisher) — with zero hash lookups and zero
+    /// allocations.
+    pub fn publish_topic_into(
+        &mut self,
+        from: EndpointId,
+        topic: TopicId,
+        now: SimTime,
+        rng: &mut impl RngCore,
+        out: &mut Vec<PlannedDelivery>,
+    ) {
+        let t = topic.0 as usize;
+        // Take the route table out of `self` so the statistics can be
+        // borrowed mutably while walking it.
+        let routes = match self.routes[t].take() {
+            Some(r) if r.from == from && r.gen == self.cfg_gen => r,
+            _ => self.build_routes(t, from),
+        };
+        let links = &self.links;
+        let stats = &mut self.stats;
+        for hop in &routes.hops {
+            let st = &mut stats[hop.link as usize];
+            st.sent += 1;
+            let down = if hop.multi_window {
+                links[hop.link as usize].outages.is_down(now)
+            } else {
+                hop.window.0 <= now && now < hop.window.1
+            };
+            if down {
+                st.dropped += 1;
+                continue;
+            }
+            match hop.fate {
+                HopFate::Deterministic { delay, delay_s } => {
+                    // Consume the draw `bernoulli` would have made so
+                    // the stream stays in lockstep with the reference.
+                    let _ = rng.next_u64();
+                    st.delivered += 1;
+                    st.latency.push(delay_s);
+                    out.push(PlannedDelivery { to: hop.to, at: now + delay });
+                }
+                HopFate::Sampled { qos } => match qos.sample(now, rng) {
+                    Delivery::Deliver { at } => {
+                        st.delivered += 1;
+                        st.latency.push((at - now).as_secs_f64());
+                        out.push(PlannedDelivery { to: hop.to, at });
+                    }
+                    Delivery::Dropped => {
+                        st.dropped += 1;
+                    }
+                },
+            }
+        }
+        self.routes[t] = Some(routes);
+    }
+
+    /// Allocating convenience wrapper over [`Fabric::publish_into`].
     pub fn publish(
         &mut self,
         from: EndpointId,
@@ -278,23 +630,36 @@ impl Fabric {
         now: SimTime,
         rng: &mut impl RngCore,
     ) -> Vec<PlannedDelivery> {
-        let receivers: Vec<EndpointId> = self
-            .subs
-            .get(topic)
-            .map(|s| s.iter().copied().filter(|&e| e != from).collect())
-            .unwrap_or_default();
-        receivers.into_iter().filter_map(|to| self.unicast(from, to, now, rng)).collect()
+        let mut out = Vec::new();
+        self.publish_into(from, topic, now, rng, &mut out);
+        out
     }
 
     /// Statistics of the directed link `from → to`.
     pub fn link_stats(&self, from: EndpointId, to: EndpointId) -> LinkStats {
-        self.stats.get(&(from, to)).copied().unwrap_or_default()
+        self.link_index
+            .get(&link_key(from, to))
+            .map(|&i| self.stats[i as usize])
+            .unwrap_or_default()
     }
 
     /// Aggregate statistics over all links.
+    ///
+    /// Links are merged in ascending `(from, to)` order — the same
+    /// order the tree-routed reference iterates its stats map — so the
+    /// floating-point latency merge is bit-identical to it.
     pub fn total_stats(&self) -> LinkStats {
+        let mut order: Vec<usize> = (0..self.stats.len()).collect();
+        order.sort_unstable_by_key(|&i| self.link_keys[i]);
         let mut total = LinkStats::default();
-        for s in self.stats.values() {
+        for i in order {
+            let s = &self.stats[i];
+            if s.sent == 0 {
+                // Never transmitted (record created by `set_link` /
+                // `set_outages` alone); the reference has no stats
+                // entry for such links.
+                continue;
+            }
             total.sent += s.sent;
             total.delivered += s.delivered;
             total.dropped += s.dropped;
@@ -352,6 +717,54 @@ mod tests {
     }
 
     #[test]
+    fn publish_into_reuses_caller_buffer() {
+        let mut f = Fabric::new();
+        f.set_default_qos(LinkQos::ideal());
+        let p = f.add_endpoint("p");
+        let s = f.add_endpoint("s");
+        let t = Topic::new("x");
+        f.subscribe(s, t.clone());
+        let mut r = rng();
+        let mut buf = Vec::with_capacity(4);
+        f.publish_into(p, &t, SimTime::ZERO, &mut r, &mut buf);
+        assert_eq!(buf.len(), 1);
+        let cap = buf.capacity();
+        buf.clear();
+        f.publish_into(p, &t, SimTime::ZERO, &mut r, &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.capacity(), cap, "steady-state publish must not reallocate");
+    }
+
+    #[test]
+    fn topic_interning_is_dense_and_idempotent() {
+        let mut f = Fabric::new();
+        let a = Topic::new("a");
+        let b = Topic::new("b");
+        let ia = f.intern_topic(&a);
+        let ib = f.intern_topic(&b);
+        assert_eq!(ia.index(), 0);
+        assert_eq!(ib.index(), 1);
+        assert_eq!(f.intern_topic(&a), ia);
+        assert_eq!(f.topic_id(&b), Some(ib));
+        assert_eq!(f.topic(ia), &a);
+        assert_eq!(f.topic_count(), 2);
+        assert_eq!(f.topic_id(&Topic::new("never-seen")), None);
+    }
+
+    #[test]
+    fn subscriber_sets_stay_sorted_and_deduplicated() {
+        let mut f = Fabric::new();
+        let eps: Vec<_> = (0..5).map(|i| f.add_endpoint(&format!("e{i}"))).collect();
+        let t = Topic::new("t");
+        // Subscribe in descending order, with a duplicate.
+        for &e in eps.iter().rev() {
+            f.subscribe(e, t.clone());
+        }
+        f.subscribe(eps[2], t.clone());
+        assert_eq!(f.subscribers(&t).collect::<Vec<_>>(), eps);
+    }
+
+    #[test]
     fn unsubscribe_stops_delivery() {
         let mut f = Fabric::new();
         f.set_default_qos(LinkQos::ideal());
@@ -362,7 +775,7 @@ mod tests {
         f.unsubscribe(s, &t);
         let mut r = rng();
         assert!(f.publish(p, &t, SimTime::ZERO, &mut r).is_empty());
-        assert!(f.subscribers(&t).is_empty());
+        assert_eq!(f.subscribers(&t).count(), 0);
     }
 
     #[test]
@@ -406,7 +819,24 @@ mod tests {
         let mut r = rng();
         f.unicast(a, b, SimTime::ZERO, &mut r);
         f.unicast(a, c, SimTime::ZERO, &mut r);
+        // A configured-but-unused link must not perturb the aggregate.
+        f.set_link(b, c, LinkQos::congested());
         assert_eq!(f.total_stats().sent, 2);
+        assert_eq!(f.total_stats().delivered, 2);
+    }
+
+    #[test]
+    fn late_default_qos_change_applies_to_unconfigured_links() {
+        let (mut f, a, b) = two_endpoint_fabric();
+        let mut r = rng();
+        // Create the link record with a transmission under the initial
+        // default, then change the default: the next transmission must
+        // see the new default (records without an override track the
+        // fabric default at send time, like the reference).
+        let _ = f.unicast(a, b, SimTime::ZERO, &mut r);
+        f.set_default_qos(LinkQos::ideal().with_latency(SimDuration::from_millis(9)));
+        let d = f.unicast(a, b, SimTime::from_secs(1), &mut r).unwrap();
+        assert_eq!(d.at, SimTime::from_secs(1) + SimDuration::from_millis(9));
     }
 
     #[test]

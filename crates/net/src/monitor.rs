@@ -33,7 +33,13 @@ impl FreshnessMonitor {
 
     /// Records an arrival on `stream` at `now`.
     pub fn observe(&mut self, stream: &str, now: SimTime) {
-        self.last_seen.insert(stream.to_owned(), now);
+        // Steady state is a fresh timestamp on a known stream: update
+        // in place and only allocate the owned key on first arrival.
+        if let Some(t) = self.last_seen.get_mut(stream) {
+            *t = now;
+        } else {
+            self.last_seen.insert(stream.to_owned(), now);
+        }
     }
 
     /// Last arrival on `stream`, if any.

@@ -74,6 +74,7 @@ impl LinkQos {
     }
 
     /// Samples the fate of one message sent at `now`.
+    #[inline]
     pub fn sample(&self, now: SimTime, rng: &mut impl RngCore) -> Delivery {
         if bernoulli(rng, self.loss_prob) {
             return Delivery::Dropped;
@@ -127,6 +128,7 @@ impl OutagePlan {
     }
 
     /// Whether the link is down at `t`.
+    #[inline]
     pub fn is_down(&self, t: SimTime) -> bool {
         self.windows.iter().any(|&(a, b)| a <= t && t < b)
     }
