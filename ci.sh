@@ -15,6 +15,9 @@
 #   8. network fabric smoke budget              — bench_fabric fails if
 #      the routing/256 fan-out workload regresses past its ceiling, and
 #      BENCH_net.json must be emitted
+#   9. fault-campaign smoke                     — bench_faults --quick
+#      fails on ANY no-overdose invariant violation in the reduced
+#      fault grid, or if the campaign blows its wall-clock ceiling
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -50,5 +53,11 @@ cargo build --release -q -p mcps-bench --bin bench_fabric
 ./target/release/bench_fabric --out target/BENCH_net.json --max-ms 5000 > /dev/null
 test -s target/BENCH_net.json || { echo "BENCH_net.json missing"; exit 1; }
 echo "routing/256 under the 5s ceiling (target/BENCH_net.json)"
+
+echo "== fault-campaign smoke (no-overdose invariant) =="
+cargo build --release -q -p mcps-bench --bin bench_faults
+./target/release/bench_faults --quick --out target/BENCH_faults.json --max-ms 60000 > /dev/null
+test -s target/BENCH_faults.json || { echo "BENCH_faults.json missing"; exit 1; }
+echo "quick fault grid: zero invariant violations (target/BENCH_faults.json)"
 
 echo "CI OK"

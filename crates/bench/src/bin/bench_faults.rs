@@ -1,0 +1,104 @@
+//! Machine-readable fault-injection safety scorecard (E8 campaign).
+//!
+//! Sweeps the deterministic fault campaign grid — `{fault kind × onset
+//! × duration × link outage}` over the PCA-interlock scenario with and
+//! without a hot-swappable backup oximeter — and writes
+//! `BENCH_faults.json`: per cell, the no-overdose invariant verdict,
+//! the time-to-fail-safe distribution and the spurious-degradation
+//! count. The scorecard lives in version control so fault-path
+//! regressions show up as number changes rather than anecdotes.
+//!
+//! Usage: `bench_faults [--quick] [--seed N] [--trials N] [--out PATH]
+//!                      [--max-ms MS]`
+//!
+//! `--quick` runs the reduced CI grid (one onset, permanent faults
+//! only, one patient per cell). `--max-ms` is the CI smoke budget: the
+//! run exits nonzero if the wall clock exceeds it. The run *also* exits
+//! nonzero on any invariant violation — a safety regression fails CI
+//! outright, not just the scorecard diff.
+
+use mcps_bench::campaign::{build_grid, run_campaign, CampaignConfig};
+use mcps_bench::{fnum, Args, Table};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.has_flag("quick");
+    let seed = args.get_u64("seed", 2026);
+    let out_path = args.get_str("out", "BENCH_faults.json");
+    let max_ms = args.get_u64("max-ms", 600_000) as f64;
+
+    let mut cfg = if quick { CampaignConfig::quick(seed) } else { CampaignConfig::full(seed) };
+    cfg.trials = args.get_u64("trials", cfg.trials).max(1);
+
+    let cells = build_grid(&cfg).len();
+    println!(
+        "fault campaign: {cells} cells × {} patient(s), {:.0} s simulated each{}",
+        cfg.trials,
+        cfg.run.as_secs_f64(),
+        if quick { " (quick grid)" } else { "" },
+    );
+
+    let start = Instant::now();
+    let report = run_campaign(&cfg);
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let mut table = Table::new([
+        "cell",
+        "invariant",
+        "viol",
+        "fs p50",
+        "fs p95",
+        "fs max",
+        "spur",
+        "degr",
+        "retry",
+        "max mg",
+    ]);
+    for c in &report.cells {
+        let (p50, p95, max) = c
+            .failsafe
+            .as_ref()
+            .map(|f| (fnum(f.p50_secs), fnum(f.p95_secs), fnum(f.max_secs)))
+            .unwrap_or_else(|| ("-".into(), "-".into(), "-".into()));
+        table.row([
+            c.id.clone(),
+            format!("{:?}", c.invariant),
+            c.violations.to_string(),
+            p50,
+            p95,
+            max,
+            c.spurious_degradations.to_string(),
+            c.degraded_entries.to_string(),
+            c.commands_retried.to_string(),
+            fnum(c.max_total_drug_mg),
+        ]);
+    }
+    table.print();
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!(
+        "\nwrote {out_path}: {} cells, {} violation(s), {} spurious degradation(s), {:.0} ms",
+        report.cells.len(),
+        report.total_violations,
+        report.total_spurious,
+        elapsed_ms,
+    );
+
+    let mut failed = false;
+    if report.total_violations > 0 {
+        for c in report.cells.iter().filter(|c| c.violations > 0) {
+            eprintln!("VIOLATION {}: {}", c.id, c.violation_reasons.join("; "));
+        }
+        eprintln!("FAIL: {} no-overdose invariant violation(s)", report.total_violations);
+        failed = true;
+    }
+    if elapsed_ms > max_ms {
+        eprintln!("FAIL: campaign took {elapsed_ms:.0} ms (budget {max_ms:.0} ms)");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

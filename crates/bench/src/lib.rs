@@ -10,6 +10,8 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+pub mod campaign;
+
 /// Maps `f` over `items` on a small worker pool, preserving order.
 /// Scenario runs are pure and independent, so cohort experiments
 /// parallelize trivially; this keeps the full-size tables fast.

@@ -18,6 +18,8 @@ use mcps_sim::kernel::Context;
 use mcps_sim::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
+use std::collections::VecDeque;
+
 use crate::body::PatientBody;
 use crate::msg::{IceCommand, IceMsg, NetAddress, NetOp, NetPayload};
 use crate::netctl::topics;
@@ -27,6 +29,12 @@ use crate::netctl::topics;
 /// lost, so devices re-offer themselves periodically — the on-demand
 /// equivalent of a discovery beacon.
 const ANNOUNCE_PERIOD: SimDuration = SimDuration::from_secs(10);
+
+/// How many recently applied command ids the pump remembers for
+/// idempotence. Supervisor retries reuse the original command id, so a
+/// small window is enough: in-flight ids are bounded by the retry
+/// horizon, not the run length.
+const APPLIED_ID_WINDOW: usize = 64;
 
 fn announce(
     ctx: &mut Context<'_, IceMsg>,
@@ -54,6 +62,12 @@ pub struct PumpActor {
     endpoint: EndpointId,
     step: SimDuration,
     scope: String,
+    fault: FaultPlan,
+    /// Recently applied command ids with their application instant —
+    /// retried commands (same id) are acked again but not re-applied,
+    /// so a retry can never, say, extend a ticket's validity window.
+    applied_ids: VecDeque<(u64, SimTime)>,
+    duplicate_commands: u64,
     next_announce: Option<SimTime>,
     was_permitted: bool,
     /// Transitions of the delivery-permission state: `(instant, permitted)`.
@@ -71,6 +85,9 @@ impl PumpActor {
             endpoint,
             step: SimDuration::from_secs(1),
             scope: String::new(),
+            fault: FaultPlan::none(),
+            applied_ids: VecDeque::new(),
+            duplicate_commands: 0,
             next_announce: None,
             was_permitted: false,
             permit_log: Vec::new(),
@@ -82,6 +99,24 @@ impl PumpActor {
     pub fn with_scope(mut self, scope: &str) -> Self {
         self.scope = scope.to_owned();
         self
+    }
+
+    /// Attaches a fault schedule to the pump's *controller* (command
+    /// and ack plane). A crashed controller stops announcing, ignores
+    /// commands and sends no acks, while the infusion head keeps its
+    /// last program — deliberately the pessimistic case for the
+    /// no-overdose invariant (a ticket-mode pump still fails safe when
+    /// its ticket expires; a command-mode pump relies on the interlock
+    /// having stopped it *before* the crash).
+    pub fn with_faults(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Commands received whose id was already applied (supervisor
+    /// retries absorbed by idempotence).
+    pub fn duplicate_commands(&self) -> u64 {
+        self.duplicate_commands
     }
 
     /// The wrapped pump.
@@ -134,7 +169,7 @@ impl Actor<IceMsg> for PumpActor {
         let now = ctx.now();
         match msg {
             IceMsg::Tick => {
-                if self.next_announce.is_none_or(|t| now >= t) {
+                if !self.fault.is_crashed(now) && self.next_announce.is_none_or(|t| now >= t) {
                     self.next_announce = Some(now + ANNOUNCE_PERIOD);
                     announce(
                         ctx,
@@ -168,28 +203,54 @@ impl Actor<IceMsg> for PumpActor {
                 from,
                 payload: NetPayload::Command { id, command: cmd },
             }) => {
-                match cmd {
-                    IceCommand::StopPump => {
-                        self.pump.stop(now, mcps_device::pump::StopReason::Command);
-                        ctx.trace("pump", "stop command applied");
-                    }
-                    IceCommand::ResumePump => {
-                        self.pump.resume(now);
-                        ctx.trace("pump", "resume command applied");
-                    }
-                    IceCommand::GrantTicket { validity } => {
-                        self.pump.grant_ticket(now, validity);
-                    }
-                    _ => return, // not a pump command
+                if self.fault.is_crashed(now) {
+                    ctx.trace("pump", "command dropped: controller crashed");
+                    return;
                 }
-                ctx.send(
-                    self.netctl,
-                    IceMsg::Net(NetOp::Send {
-                        from: self.endpoint,
-                        to: NetAddress::Endpoint(from),
-                        payload: NetPayload::Ack { id, command: cmd, applied_at: now },
-                    }),
-                );
+                let already = self.applied_ids.iter().find(|(i, _)| *i == id).map(|&(_, at)| at);
+                let applied_at = match already {
+                    Some(at) => {
+                        // Idempotence: a retried command is acknowledged
+                        // (the first ack was evidently lost) but not
+                        // re-applied.
+                        self.duplicate_commands += 1;
+                        ctx.trace("pump", format!("duplicate command id {id} absorbed"));
+                        at
+                    }
+                    None => {
+                        match cmd {
+                            IceCommand::StopPump => {
+                                self.pump.stop(now, mcps_device::pump::StopReason::Command);
+                                ctx.trace("pump", "stop command applied");
+                            }
+                            IceCommand::ResumePump => {
+                                self.pump.resume(now);
+                                ctx.trace("pump", "resume command applied");
+                            }
+                            IceCommand::GrantTicket { validity } => {
+                                self.pump.grant_ticket(now, validity);
+                            }
+                            _ => return, // not a pump command
+                        }
+                        if self.applied_ids.len() == APPLIED_ID_WINDOW {
+                            self.applied_ids.pop_front();
+                        }
+                        self.applied_ids.push_back((id, now));
+                        now
+                    }
+                };
+                let ack = IceMsg::Net(NetOp::Send {
+                    from: self.endpoint,
+                    to: NetAddress::Endpoint(from),
+                    payload: NetPayload::Ack { id, command: cmd, applied_at },
+                });
+                let copies = if self.fault.ack_duplicated(now) { 2 } else { 1 };
+                for _ in 0..copies {
+                    match self.fault.ack_delay(now) {
+                        Some(delay) => ctx.schedule_at(now + delay, self.netctl, ack.clone()),
+                        None => ctx.send(self.netctl, ack.clone()),
+                    }
+                }
             }
             _ => {}
         }
@@ -303,10 +364,14 @@ impl Actor<IceMsg> for MonitorActor {
             return;
         }
         let truth = self.body.vitals();
+        // Calibration drift adds a linear bias on top of the monitor's
+        // own noise model; zero unless a drift fault is active.
+        let bias = self.fault.value_bias(now);
         let measurements = self.monitor.sample(now, &truth, ctx.rng());
         for m in measurements {
-            self.last_values.insert(m.kind, m.value);
-            self.publish(ctx, m.kind, m.value, m.at);
+            let value = m.value + bias;
+            self.last_values.insert(m.kind, value);
+            self.publish(ctx, m.kind, value, m.at);
         }
         ctx.schedule_self(period, IceMsg::Tick);
     }
@@ -585,6 +650,142 @@ mod tests {
         assert_eq!(pa.decisions().get("locked-out"), Some(&1));
         // The 1 mg bolus ended up in the patient's body.
         assert!((r.body.total_drug_mg() - 1.0).abs() < 1e-9, "{}", r.body.total_drug_mg());
+    }
+
+    /// A retried GrantTicket (same command id) must be re-acked but not
+    /// re-applied: the ticket's expiry is set by the first application
+    /// and a duplicate must not extend the delivery window.
+    #[test]
+    fn pump_actor_dedups_command_ids() {
+        let mut r = rig();
+        let pump = PcaPump::new(PcaPumpConfig { ticket_mode: true, ..Default::default() });
+        let p_id = r.sim.add_actor("pump", PumpActor::new(pump, r.body.clone(), r.nc_id, r.dev_ep));
+        r.sim.actor_as_mut::<NetworkController>(r.nc_id).unwrap().bind(r.dev_ep, p_id);
+        let grant = |id| {
+            IceMsg::Net(NetOp::Deliver {
+                from: r.sup_ep,
+                payload: NetPayload::Command {
+                    id,
+                    command: IceCommand::GrantTicket { validity: SimDuration::from_secs(15) },
+                },
+            })
+        };
+        r.sim.schedule(SimTime::from_secs(1), p_id, grant(7));
+        r.sim.schedule(SimTime::from_secs(10), p_id, grant(7)); // retry of the same send
+        r.sim.run_until(SimTime::from_secs(12));
+        let pa = r.sim.actor_as::<PumpActor>(p_id).unwrap();
+        assert_eq!(pa.duplicate_commands(), 1);
+        // Ticket still expires 15 s after the *first* application.
+        assert!(pa.pump().is_permitted(SimTime::from_secs(15)));
+        assert!(!pa.pump().is_permitted(SimTime::from_secs(17)), "retry must not extend ticket");
+        // But the retry is re-acked so the supervisor's watchdog settles.
+        assert_eq!(r.sim.actor_as::<Sink>(r.sink_id).unwrap().acks, 2);
+    }
+
+    #[test]
+    fn pump_ack_faults_delay_and_duplicate() {
+        let mut r = rig();
+        let fault = FaultPlan::none()
+            .with_fault(
+                mcps_device::faults::FaultKind::DelayedAck { delay_ms: 3000 },
+                SimTime::ZERO,
+                Some(SimTime::from_secs(20)),
+            )
+            .with_fault(mcps_device::faults::FaultKind::DuplicateAck, SimTime::from_secs(20), None);
+        let pump = PcaPump::new(PcaPumpConfig::default());
+        let p_id = r.sim.add_actor(
+            "pump",
+            PumpActor::new(pump, r.body.clone(), r.nc_id, r.dev_ep).with_faults(fault),
+        );
+        r.sim.actor_as_mut::<NetworkController>(r.nc_id).unwrap().bind(r.dev_ep, p_id);
+        let cmd = |id, command, t| {
+            (
+                SimTime::from_secs(t),
+                IceMsg::Net(NetOp::Deliver {
+                    from: r.sup_ep,
+                    payload: NetPayload::Command { id, command },
+                }),
+            )
+        };
+        let (t1, m1) = cmd(1, IceCommand::StopPump, 5);
+        let (t2, m2) = cmd(2, IceCommand::ResumePump, 25);
+        r.sim.schedule(t1, p_id, m1);
+        r.sim.schedule(t2, p_id, m2);
+        // Just after the stop, the delayed ack (due t=8) is not out yet.
+        r.sim.run_until(SimTime::from_secs(6));
+        assert_eq!(r.sim.actor_as::<Sink>(r.sink_id).unwrap().acks, 0, "ack held back");
+        r.sim.run_until(SimTime::from_secs(30));
+        // 1 delayed ack for the stop + 2 duplicated acks for the resume.
+        assert_eq!(r.sim.actor_as::<Sink>(r.sink_id).unwrap().acks, 3);
+    }
+
+    #[test]
+    fn crashed_pump_controller_ignores_commands() {
+        let mut r = rig();
+        let fault = FaultPlan::none().with_fault(
+            mcps_device::faults::FaultKind::Crash,
+            SimTime::from_secs(3),
+            None,
+        );
+        let pump = PcaPump::new(PcaPumpConfig::default());
+        let p_id = r.sim.add_actor(
+            "pump",
+            PumpActor::new(pump, r.body.clone(), r.nc_id, r.dev_ep).with_faults(fault),
+        );
+        r.sim.actor_as_mut::<NetworkController>(r.nc_id).unwrap().bind(r.dev_ep, p_id);
+        r.sim.schedule(SimTime::ZERO, p_id, IceMsg::Tick);
+        r.sim.schedule(
+            SimTime::from_secs(5),
+            p_id,
+            IceMsg::Net(NetOp::Deliver {
+                from: r.sup_ep,
+                payload: NetPayload::Command { id: 1, command: IceCommand::StopPump },
+            }),
+        );
+        r.sim.run_until(SimTime::from_secs(15));
+        let pa = r.sim.actor_as::<PumpActor>(p_id).unwrap();
+        assert_eq!(pa.pump().state(), PumpState::Running, "crashed controller applies nothing");
+        let sink = r.sim.actor_as::<Sink>(r.sink_id).unwrap();
+        assert_eq!(sink.acks, 0, "no acks from a crashed controller");
+        // Only the pre-crash announce window (t=0) made it out.
+        assert_eq!(sink.announces, 1);
+    }
+
+    #[test]
+    fn drifting_monitor_biases_published_values() {
+        let mut r = rig();
+        let fault = FaultPlan::none().with_fault(
+            mcps_device::faults::FaultKind::Drift { bias_milli_per_sec: -100 },
+            SimTime::ZERO,
+            None,
+        );
+        let m = MonitorActor::new(pulse_oximeter("T-3"), r.body.clone(), r.nc_id, r.dev_ep, fault);
+        let m_id = r.sim.add_actor("oximeter", m);
+        r.sim.actor_as_mut::<NetworkController>(r.nc_id).unwrap().bind(r.dev_ep, m_id);
+
+        #[derive(Debug, Default)]
+        struct Spo2Sink {
+            last: Option<(SimTime, f64)>,
+        }
+        impl Actor<IceMsg> for Spo2Sink {
+            fn handle(&mut self, msg: IceMsg, ctx: &mut Context<'_, IceMsg>) {
+                if let IceMsg::Net(NetOp::Deliver {
+                    payload: NetPayload::Data { kind: VitalKind::Spo2, value, .. },
+                    ..
+                }) = msg
+                {
+                    self.last = Some((ctx.now(), value));
+                }
+            }
+        }
+        let sink2 = r.sim.add_actor("spo2sink", Spo2Sink::default());
+        r.sim.actor_as_mut::<NetworkController>(r.nc_id).unwrap().bind(r.sup_ep, sink2);
+        r.sim.schedule(SimTime::ZERO, m_id, IceMsg::Tick);
+        r.sim.run_until(SimTime::from_secs(120));
+        let (_, v) = r.sim.actor_as::<Spo2Sink>(sink2).unwrap().last.expect("samples published");
+        // After ~2 min at -0.1/s the bias (~-12) dwarfs sensor noise, so
+        // the published SpO2 must sit far below any healthy reading.
+        assert!(v < 90.0, "drift bias not applied: SpO2 {v}");
     }
 
     #[test]

@@ -82,6 +82,10 @@ pub struct TimelinePoint {
     pub effect_site: f64,
     /// Perceived pain, 0–10.
     pub pain: f64,
+    /// Cumulative drug administered so far, mg — the campaign
+    /// scorecard's no-overdose invariant reads delivery directly off
+    /// the timeline.
+    pub total_drug_mg: f64,
 }
 
 /// The actor that advances the patient's physiology in real time and
@@ -174,6 +178,7 @@ impl Actor<IceMsg> for PatientActor {
                 spo2: v.spo2,
                 effect_site: self.body.effect_site_conc(),
                 pain: self.body.perceived_pain(),
+                total_drug_mg: self.body.total_drug_mg(),
             });
         }
         // Ground-truth danger marker: true SpO2 below 90.

@@ -54,6 +54,9 @@ pub struct PcaScenarioConfig {
     pub oximeter_fault: FaultPlan,
     /// Fault plan of the capnograph.
     pub capnograph_fault: FaultPlan,
+    /// Fault plan of the pump's controller (command/ack plane): crash,
+    /// delayed or duplicated acks.
+    pub pump_fault: FaultPlan,
     /// If `true`, a second (backup) pulse oximeter is present at the
     /// bedside. It is rejected while the primary holds the slot, but
     /// its periodic announcements let it take over if the primary is
@@ -78,6 +81,7 @@ impl PcaScenarioConfig {
             proxy_rate_per_hour: 1.0,
             oximeter_fault: FaultPlan::none(),
             capnograph_fault: FaultPlan::none(),
+            pump_fault: FaultPlan::none(),
             backup_oximeter: false,
             timeline_every_secs: 0,
         }
@@ -119,6 +123,15 @@ pub struct PcaScenarioOutcome {
     pub data_received: u64,
     /// Commands the supervisor sent.
     pub commands_sent: u64,
+    /// Retransmissions of unacknowledged safety commands.
+    pub commands_retried: u64,
+    /// App commands the supervisor suppressed while degraded.
+    pub commands_suppressed: u64,
+    /// Degraded-mode windows `(entered_secs, exited_secs)`; an open
+    /// window has `None` as its exit.
+    pub degraded_windows_secs: Vec<(f64, Option<f64>)>,
+    /// Times the ack watchdog escalated a lost stop command.
+    pub watchdog_escalations: u32,
     /// Tickets granted (ticket strategy).
     pub grants_issued: u64,
     /// Network messages offered / scheduled for delivery.
@@ -201,8 +214,11 @@ pub fn run_pca_scenario(config: &PcaScenarioConfig) -> PcaScenarioOutcome {
     // --- actors ----------------------------------------------------------
     let nc_id = sim.add_actor("netctl", NetworkController::new(fabric));
     let body = PatientBody::new(VirtualPatient::new(config.patient));
-    let pump_id = sim
-        .add_actor("pump", PumpActor::new(PcaPump::new(config.pump), body.clone(), nc_id, ep_pump));
+    let pump_id = sim.add_actor(
+        "pump",
+        PumpActor::new(PcaPump::new(config.pump), body.clone(), nc_id, ep_pump)
+            .with_faults(config.pump_fault.clone()),
+    );
     let ox_id = sim.add_actor(
         "oximeter",
         MonitorActor::new(
@@ -278,24 +294,50 @@ pub fn run_pca_scenario(config: &PcaScenarioConfig) -> PcaScenarioOutcome {
                 .map(|t| t.saturating_since(onset).as_secs_f64())
         }
     });
-    let (associated, associations_completed, data_received, commands_sent, grants_issued) =
-        match sup_id {
-            Some(s) => {
-                let sup = sim.actor_as::<Supervisor>(s).expect("supervisor actor");
-                let grants = sup
-                    .app_as::<PcaSafetyApp>()
-                    .map(|a| a.interlock().grants_issued())
-                    .unwrap_or(0);
-                (
-                    sup.associated_at().is_some(),
-                    sup.associations_completed(),
-                    sup.data_received(),
-                    sup.commands_sent(),
-                    grants,
-                )
+    struct SupStats {
+        associated: bool,
+        associations_completed: u32,
+        data_received: u64,
+        commands_sent: u64,
+        commands_retried: u64,
+        commands_suppressed: u64,
+        degraded_windows_secs: Vec<(f64, Option<f64>)>,
+        watchdog_escalations: u32,
+        grants_issued: u64,
+    }
+    let sup_stats = match sup_id {
+        Some(s) => {
+            let sup = sim.actor_as::<Supervisor>(s).expect("supervisor actor");
+            let grants =
+                sup.app_as::<PcaSafetyApp>().map(|a| a.interlock().grants_issued()).unwrap_or(0);
+            SupStats {
+                associated: sup.associated_at().is_some(),
+                associations_completed: sup.associations_completed(),
+                data_received: sup.data_received(),
+                commands_sent: sup.commands_sent(),
+                commands_retried: sup.commands_retried(),
+                commands_suppressed: sup.commands_suppressed(),
+                degraded_windows_secs: sup
+                    .degraded_log()
+                    .iter()
+                    .map(|&(a, b)| (a.as_secs_f64(), b.map(SimTime::as_secs_f64)))
+                    .collect(),
+                watchdog_escalations: sup.watchdog_escalations(),
+                grants_issued: grants,
             }
-            None => (false, 0, 0, 0, 0),
-        };
+        }
+        None => SupStats {
+            associated: false,
+            associations_completed: 0,
+            data_received: 0,
+            commands_sent: 0,
+            commands_retried: 0,
+            commands_suppressed: 0,
+            degraded_windows_secs: Vec::new(),
+            watchdog_escalations: 0,
+            grants_issued: 0,
+        },
+    };
     let nc = sim.actor_as::<NetworkController>(nc_id).expect("netctl actor");
     let patient_outcome = body.outcome();
     let mut telemetry = Telemetry::new();
@@ -316,11 +358,15 @@ pub fn run_pca_scenario(config: &PcaScenarioConfig) -> PcaScenarioOutcome {
             .collect(),
         danger_onset_secs: danger_onset.map(|t| t.as_secs_f64()),
         stop_latency_secs,
-        associated,
-        associations_completed,
-        data_received,
-        commands_sent,
-        grants_issued,
+        associated: sup_stats.associated,
+        associations_completed: sup_stats.associations_completed,
+        data_received: sup_stats.data_received,
+        commands_sent: sup_stats.commands_sent,
+        commands_retried: sup_stats.commands_retried,
+        commands_suppressed: sup_stats.commands_suppressed,
+        degraded_windows_secs: sup_stats.degraded_windows_secs,
+        watchdog_escalations: sup_stats.watchdog_escalations,
+        grants_issued: sup_stats.grants_issued,
         net_sent: nc.sent(),
         net_delivered: nc.delivered(),
         permit_transitions_secs: pump_actor

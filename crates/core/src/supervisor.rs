@@ -3,7 +3,33 @@
 //! Hosts one clinical app: runs device association, forwards published
 //! data into the app, dispatches the app's slot-addressed commands onto
 //! the network, and tracks command round-trip latency.
+//!
+//! # Fault robustness
+//!
+//! The supervisor is the component the paper's assurance case leans on
+//! when devices or links misbehave, so it carries three defensive
+//! mechanisms:
+//!
+//! * **Command retry** — safety-critical commands ([`IceCommand::StopPump`],
+//!   [`IceCommand::ResumePump`]) that go unacknowledged are retransmitted
+//!   with the *same* command id under bounded exponential backoff;
+//!   devices deduplicate by id, so a retry can never double-apply.
+//!   Periodic commands (ticket grants) are never retried — the next
+//!   period re-issues them, and re-applying an old grant would extend
+//!   its validity window.
+//! * **Ack watchdog** — a [`IceCommand::StopPump`] still unacknowledged
+//!   after the last retry is treated as a lost pump: the supervisor
+//!   escalates to degraded mode rather than assuming the stop landed.
+//! * **Degraded mode** — entered when a streaming device goes silent
+//!   (its slot is vacated) or the ack watchdog fires. On entry the
+//!   supervisor latches an alarm and halts every associated device that
+//!   accepts a stop; while degraded it suppresses app commands that
+//!   would re-enable delivery (ticket grants, resumes). The mode is
+//!   exited *hysteretically*: only after the system has been fully
+//!   associated with fresh data on every stream for a continuous
+//!   settling window, at which point the supervisor lifts its own halt.
 
+use mcps_device::profile::CommandKind;
 use mcps_net::fabric::EndpointId;
 use mcps_net::monitor::DeadlineTracker;
 use mcps_sim::actor::{Actor, ActorId};
@@ -13,12 +39,43 @@ use std::collections::BTreeMap;
 
 use crate::app::{AppCtx, ClinicalApp};
 use crate::manager::{AssociationOutcome, DeviceManager};
-use crate::msg::{IceMsg, NetAddress, NetOp, NetPayload};
+use crate::msg::{IceCommand, IceMsg, NetAddress, NetOp, NetPayload};
 
 /// A monitoring device whose data has not arrived for this long is
 /// considered gone: its slot is vacated so a replacement can associate
 /// (bedside hot-swap).
 const DISASSOCIATION_TIMEOUT: SimDuration = SimDuration::from_secs(30);
+
+/// Base delay before the first retry of an unacknowledged retryable
+/// command; doubles per attempt (2 s, 4 s, 8 s).
+const RETRY_BASE: SimDuration = SimDuration::from_secs(2);
+
+/// Retransmissions after the original send before the watchdog gives up.
+const MAX_RETRIES: u32 = 3;
+
+/// How long the system must look healthy (fully associated, fresh data
+/// on every stream) before degraded mode is exited.
+const DEGRADED_EXIT_HYSTERESIS: SimDuration = SimDuration::from_secs(15);
+
+/// Data younger than this counts as "fresh" for the degraded-mode exit
+/// check (streams publish at ~1 Hz; this tolerates jitter and loss).
+const EXIT_FRESHNESS: SimDuration = SimDuration::from_secs(5);
+
+/// An outstanding command awaiting its ack.
+#[derive(Debug, Clone, Copy)]
+struct InflightCommand {
+    command: IceCommand,
+    endpoint: EndpointId,
+    /// Original transmission instant (RTTs are measured from here, so a
+    /// retried command's latency includes the retransmission delay).
+    first_sent_at: SimTime,
+    /// Most recent transmission instant (retry timers run from here).
+    sent_at: SimTime,
+    /// Transmissions so far (1 = only the original send).
+    attempts: u32,
+    /// Whether this command is retransmitted when unacknowledged.
+    retryable: bool,
+}
 
 /// The supervisor actor.
 pub struct Supervisor {
@@ -38,14 +95,38 @@ pub struct Supervisor {
     /// Data points dropped because the sender was not associated.
     data_ignored: u64,
     commands_sent: u64,
+    /// Retransmissions of unacknowledged retryable commands.
+    commands_retried: u64,
+    /// App commands suppressed because the supervisor was degraded.
+    commands_suppressed: u64,
     /// Id for the next outgoing command (unique per supervisor).
     next_command_id: u64,
-    /// Outstanding command send times for RTT measurement, keyed by
+    /// Outstanding commands for RTT measurement and retry, keyed by
     /// command id so concurrent commands of the same kind pair with
-    /// their own acks.
-    inflight: BTreeMap<u64, SimTime>,
+    /// their own acks. Entries are bounded: every command either acks
+    /// or expires at its deadline (after retries, if retryable).
+    inflight: BTreeMap<u64, InflightCommand>,
     rtt: DeadlineTracker,
+    rtt_deadline: SimDuration,
     associated_at: Option<SimTime>,
+    /// Degraded-mode state: set while the supervisor distrusts the
+    /// system enough to hold the pump stopped.
+    degraded: bool,
+    /// Latched alarm reason; survives until the hysteretic exit.
+    alarm: Option<&'static str>,
+    /// Closed and open degraded windows, oldest first.
+    degraded_log: Vec<(SimTime, Option<SimTime>)>,
+    /// Instant since which the system has looked continuously healthy.
+    healthy_since: Option<SimTime>,
+    /// Whether the degrade path itself halted stop-capable devices (and
+    /// must lift that halt on exit).
+    degrade_stop_sent: bool,
+    /// Set when a stop command dies unconfirmed: the pump's state is
+    /// unknown, so degraded mode holds (and keeps probing with fresh
+    /// stops) until some stop is acknowledged.
+    stop_unconfirmed: bool,
+    /// Times the ack watchdog escalated a lost stop to degraded mode.
+    watchdog_escalations: u32,
 }
 
 impl std::fmt::Debug for Supervisor {
@@ -54,13 +135,14 @@ impl std::fmt::Debug for Supervisor {
             .field("data_received", &self.data_received)
             .field("commands_sent", &self.commands_sent)
             .field("associated_at", &self.associated_at)
+            .field("degraded", &self.degraded)
             .finish()
     }
 }
 
 impl Supervisor {
     /// Creates a supervisor hosting `app`, with a command-RTT deadline
-    /// used for the E4 statistics.
+    /// used for the E4 statistics and as the ack-expiry horizon.
     pub fn new(
         app: impl ClinicalApp,
         netctl: ActorId,
@@ -80,10 +162,20 @@ impl Supervisor {
             data_received: 0,
             data_ignored: 0,
             commands_sent: 0,
+            commands_retried: 0,
+            commands_suppressed: 0,
             next_command_id: 0,
             inflight: BTreeMap::new(),
             rtt: DeadlineTracker::new(rtt_deadline),
+            rtt_deadline,
             associated_at: None,
+            degraded: false,
+            alarm: None,
+            degraded_log: Vec::new(),
+            healthy_since: None,
+            degrade_stop_sent: false,
+            stop_unconfirmed: false,
+            watchdog_escalations: 0,
         }
     }
 
@@ -102,9 +194,19 @@ impl Supervisor {
         self.data_ignored
     }
 
-    /// Commands sent.
+    /// Commands sent (excluding retransmissions).
     pub fn commands_sent(&self) -> u64 {
         self.commands_sent
+    }
+
+    /// Retransmissions of unacknowledged retryable commands.
+    pub fn commands_retried(&self) -> u64 {
+        self.commands_retried
+    }
+
+    /// App commands suppressed while degraded.
+    pub fn commands_suppressed(&self) -> u64 {
+        self.commands_suppressed
     }
 
     /// Command round-trip statistics.
@@ -122,13 +224,61 @@ impl Supervisor {
         self.associations_completed
     }
 
+    /// Whether the supervisor is currently in degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The latched alarm reason, if an alarm is active.
+    pub fn alarm(&self) -> Option<&'static str> {
+        self.alarm
+    }
+
+    /// Degraded windows `(entered, exited)`, oldest first; an open
+    /// window has `None` as its exit.
+    pub fn degraded_log(&self) -> &[(SimTime, Option<SimTime>)] {
+        &self.degraded_log
+    }
+
+    /// Times the ack watchdog escalated a lost stop command.
+    pub fn watchdog_escalations(&self) -> u32 {
+        self.watchdog_escalations
+    }
+
     /// Typed access to the hosted app's concrete state.
     pub fn app_as<T: 'static>(&self) -> Option<&T> {
         self.app.as_any().downcast_ref::<T>()
     }
 
+    fn send_command(&mut self, ctx: &mut Context<'_, IceMsg>, ep: EndpointId, command: IceCommand) {
+        self.commands_sent += 1;
+        let id = self.next_command_id;
+        self.next_command_id += 1;
+        let retryable = matches!(command, IceCommand::StopPump | IceCommand::ResumePump);
+        self.inflight.insert(
+            id,
+            InflightCommand {
+                command,
+                endpoint: ep,
+                first_sent_at: ctx.now(),
+                sent_at: ctx.now(),
+                attempts: 1,
+                retryable,
+            },
+        );
+        ctx.send(
+            self.netctl,
+            IceMsg::Net(NetOp::Send {
+                from: self.endpoint,
+                to: NetAddress::Endpoint(ep),
+                payload: NetPayload::Command { id, command },
+            }),
+        );
+    }
+
     /// Vacates slots of monitoring devices that have gone silent, so a
-    /// replacement device's periodic announce can claim them.
+    /// replacement device's periodic announce can claim them. Vacating
+    /// a streaming slot drops the supervisor into degraded mode.
     fn check_device_liveness(&mut self, ctx: &mut Context<'_, IceMsg>) {
         let now = ctx.now();
         let mut vacate: Vec<EndpointId> = Vec::new();
@@ -140,10 +290,18 @@ impl Supervisor {
             if !publishes {
                 continue;
             }
-            let silent = self
-                .last_data
-                .get(&ep)
-                .is_none_or(|&t| now.saturating_since(t) > DISASSOCIATION_TIMEOUT);
+            let silent = match self.last_data.get(&ep) {
+                Some(&t) => now.saturating_since(t) > DISASSOCIATION_TIMEOUT,
+                // No liveness clock at all: start one now instead of
+                // treating "no data yet" as an eternity of silence. The
+                // announce path seeds the clock at association, so this
+                // is defence in depth against a device being vacated on
+                // the very first liveness tick after associating.
+                None => {
+                    self.last_data.insert(ep, now);
+                    false
+                }
+            };
             if silent {
                 vacate.push(ep);
             }
@@ -153,6 +311,141 @@ impl Supervisor {
                 self.assoc_active = false;
                 self.last_data.remove(&ep);
                 ctx.trace("assoc", format!("device {ep} silent; slot {slot} vacated"));
+                self.enter_degraded(ctx, "sensor-silent");
+            }
+        }
+    }
+
+    /// Retries and expires outstanding commands. Non-retryable commands
+    /// expire (and count as unanswered) one RTT deadline after the
+    /// send; retryable commands are retransmitted with exponential
+    /// backoff and expire after the last retry's deadline — a stop
+    /// command that dies this way trips the ack watchdog.
+    fn check_inflight(&mut self, ctx: &mut Context<'_, IceMsg>) {
+        let now = ctx.now();
+        let mut retries: Vec<u64> = Vec::new();
+        let mut expired: Vec<u64> = Vec::new();
+        for (&id, e) in &self.inflight {
+            let waited = now.saturating_since(e.sent_at);
+            if e.retryable && e.attempts <= MAX_RETRIES {
+                // Backoff doubles per transmission: 2 s, 4 s, 8 s.
+                let backoff = RETRY_BASE * (1u64 << (e.attempts - 1));
+                if waited > backoff.max(self.rtt_deadline) {
+                    retries.push(id);
+                }
+            } else if waited > self.rtt_deadline {
+                expired.push(id);
+            }
+        }
+        for id in retries {
+            let e = self.inflight.get_mut(&id).expect("retry id is inflight");
+            e.attempts += 1;
+            e.sent_at = now;
+            let (ep, command, attempts) = (e.endpoint, e.command, e.attempts);
+            self.commands_retried += 1;
+            ctx.trace("app", format!("retrying command id {id} (attempt {attempts})"));
+            ctx.send(
+                self.netctl,
+                IceMsg::Net(NetOp::Send {
+                    from: self.endpoint,
+                    to: NetAddress::Endpoint(ep),
+                    payload: NetPayload::Command { id, command },
+                }),
+            );
+        }
+        for id in expired {
+            let e = self.inflight.remove(&id).expect("expired id is inflight");
+            self.rtt.record_unanswered();
+            ctx.trace("app", format!("command id {id} unanswered; giving up"));
+            if e.retryable && matches!(e.command, IceCommand::StopPump) {
+                // A stop we cannot confirm is a lost pump: fail safe.
+                self.watchdog_escalations += 1;
+                self.stop_unconfirmed = true;
+                self.enter_degraded(ctx, "stop-ack-lost");
+            }
+        }
+        // While the pump's state is unknown, keep probing with fresh
+        // stop commands: the first acknowledged stop clears the latch
+        // and lets the hysteretic exit begin.
+        if self.degraded
+            && self.stop_unconfirmed
+            && !self.inflight.values().any(|e| matches!(e.command, IceCommand::StopPump))
+        {
+            for ep in self.stop_capable_endpoints() {
+                self.send_command(ctx, ep, IceCommand::StopPump);
+            }
+        }
+    }
+
+    /// Associated endpoints whose profile accepts an immediate stop.
+    fn stop_capable_endpoints(&self) -> Vec<EndpointId> {
+        self.manager
+            .slot_names()
+            .into_iter()
+            .filter_map(|slot| {
+                let ep = self.manager.endpoint_for(&slot)?;
+                let p = self.manager.profile_for(&slot)?;
+                p.accepts_command(CommandKind::Stop).then_some(ep)
+            })
+            .collect()
+    }
+
+    /// Enters degraded mode: latch the alarm, halt every associated
+    /// stop-capable device, and start suppressing delivery-enabling app
+    /// commands. Idempotent while already degraded.
+    fn enter_degraded(&mut self, ctx: &mut Context<'_, IceMsg>, reason: &'static str) {
+        if self.degraded {
+            return;
+        }
+        self.degraded = true;
+        self.alarm = Some(reason);
+        self.healthy_since = None;
+        self.degraded_log.push((ctx.now(), None));
+        ctx.trace("alarm", format!("degraded mode entered: {reason}"));
+        for ep in self.stop_capable_endpoints() {
+            self.degrade_stop_sent = true;
+            self.send_command(ctx, ep, IceCommand::StopPump);
+        }
+    }
+
+    /// Exits degraded mode once the system has been healthy (fully
+    /// associated, fresh data on every stream) for the full hysteresis
+    /// window. Lifts the supervisor's own halt if it imposed one.
+    fn check_degraded_exit(&mut self, ctx: &mut Context<'_, IceMsg>) {
+        if !self.degraded {
+            return;
+        }
+        let now = ctx.now();
+        let healthy = !self.stop_unconfirmed
+            && self.manager.fully_associated()
+            && self.manager.slot_names().iter().all(|slot| {
+                let Some(ep) = self.manager.endpoint_for(slot) else { return false };
+                let streams = self.manager.profile_for(slot).is_some_and(|p| !p.streams.is_empty());
+                !streams
+                    || self
+                        .last_data
+                        .get(&ep)
+                        .is_some_and(|&t| now.saturating_since(t) <= EXIT_FRESHNESS)
+            });
+        if !healthy {
+            self.healthy_since = None;
+            return;
+        }
+        let since = *self.healthy_since.get_or_insert(now);
+        if now.saturating_since(since) < DEGRADED_EXIT_HYSTERESIS {
+            return;
+        }
+        self.degraded = false;
+        self.alarm = None;
+        self.healthy_since = None;
+        if let Some(last) = self.degraded_log.last_mut() {
+            last.1 = Some(now);
+        }
+        ctx.trace("alarm", "degraded mode exited: system healthy again");
+        if self.degrade_stop_sent {
+            self.degrade_stop_sent = false;
+            for ep in self.stop_capable_endpoints() {
+                self.send_command(ctx, ep, IceCommand::ResumePump);
             }
         }
     }
@@ -172,21 +465,18 @@ impl Supervisor {
             ctx.trace("app", note);
         }
         for (slot, command) in outbox {
+            // While degraded, the supervisor holds the fail-safe state:
+            // app commands that would re-enable delivery are suppressed
+            // until the hysteretic exit.
+            if self.degraded
+                && matches!(command, IceCommand::GrantTicket { .. } | IceCommand::ResumePump)
+            {
+                self.commands_suppressed += 1;
+                ctx.trace("app", format!("degraded: suppressed {command:?} to {slot}"));
+                continue;
+            }
             match self.manager.endpoint_for(&slot) {
-                Some(ep) => {
-                    self.commands_sent += 1;
-                    let id = self.next_command_id;
-                    self.next_command_id += 1;
-                    self.inflight.insert(id, ctx.now());
-                    ctx.send(
-                        self.netctl,
-                        IceMsg::Net(NetOp::Send {
-                            from: self.endpoint,
-                            to: NetAddress::Endpoint(ep),
-                            payload: NetPayload::Command { id, command },
-                        }),
-                    );
-                }
+                Some(ep) => self.send_command(ctx, ep, command),
                 None => ctx.trace("app", format!("command to unassociated slot {slot} dropped")),
             }
         }
@@ -198,6 +488,8 @@ impl Actor<IceMsg> for Supervisor {
         match msg {
             IceMsg::Tick => {
                 self.check_device_liveness(ctx);
+                self.check_inflight(ctx);
+                self.check_degraded_exit(ctx);
                 self.drive_app(ctx, |app, actx| app.on_tick(actx));
                 ctx.schedule_self(self.step, IceMsg::Tick);
             }
@@ -231,8 +523,13 @@ impl Actor<IceMsg> for Supervisor {
                     self.drive_app(ctx, |app, actx| app.on_data(actx, kind, value, sampled_at));
                 }
                 NetPayload::Ack { id, command, applied_at } => {
-                    if let Some(sent) = self.inflight.remove(&id) {
-                        self.rtt.record(ctx.now().saturating_since(sent));
+                    if let Some(e) = self.inflight.remove(&id) {
+                        self.rtt.record(ctx.now().saturating_since(e.first_sent_at));
+                        if matches!(e.command, IceCommand::StopPump) {
+                            // A confirmed stop: the pump is reachable
+                            // and halted, so the watchdog latch clears.
+                            self.stop_unconfirmed = false;
+                        }
                     }
                     self.drive_app(ctx, |app, actx| app.on_ack(actx, command, applied_at));
                 }
@@ -284,27 +581,61 @@ mod tests {
         }
     }
 
+    /// An app driving a pump slot: sends one scripted command as soon
+    /// as the pump associates.
+    #[derive(Debug)]
+    struct OneShot {
+        command: IceCommand,
+        sent: bool,
+    }
+
+    impl OneShot {
+        fn new(command: IceCommand) -> Self {
+            OneShot { command, sent: false }
+        }
+    }
+
+    impl ClinicalApp for OneShot {
+        fn requirements(&self) -> Vec<DeviceRequirementSet> {
+            vec![DeviceRequirementSet::new("pump", vec![Requirement::Class(DeviceClass::Infusion)])]
+        }
+        fn on_associated(&mut self, ctx: &mut AppCtx<'_>) {
+            if !self.sent {
+                self.sent = true;
+                ctx.command("pump", self.command);
+            }
+        }
+        fn on_data(&mut self, _ctx: &mut AppCtx<'_>, _kind: VitalKind, _value: f64, _at: SimTime) {}
+        fn on_tick(&mut self, _ctx: &mut AppCtx<'_>) {}
+    }
+
     fn deliver(sim: &mut Simulation<IceMsg>, sup: ActorId, from: EndpointId, payload: NetPayload) {
         sim.schedule(sim.now(), sup, IceMsg::Net(NetOp::Deliver { from, payload }));
         sim.run();
     }
 
     fn setup() -> (Simulation<IceMsg>, ActorId, EndpointId, EndpointId) {
+        setup_with(Probe::default())
+    }
+
+    fn setup_with(app: impl ClinicalApp) -> (Simulation<IceMsg>, ActorId, EndpointId, EndpointId) {
         let mut fabric = Fabric::new();
         fabric.set_default_qos(LinkQos::ideal());
         let dev = fabric.add_endpoint("dev");
         let sup_ep = fabric.add_endpoint("sup");
         let mut sim: Simulation<IceMsg> = Simulation::new(4);
         let nc = sim.add_actor("netctl", NetworkController::new(fabric));
-        let sup = sim.add_actor(
-            "supervisor",
-            Supervisor::new(Probe::default(), nc, sup_ep, SimDuration::from_secs(2)),
-        );
+        let sup = sim
+            .add_actor("supervisor", Supervisor::new(app, nc, sup_ep, SimDuration::from_secs(2)));
         (sim, sup, dev, sup_ep)
     }
 
     fn monitor_profile() -> mcps_device::profile::DeviceProfile {
         mcps_device::monitor::pulse_oximeter("S-1").profile().clone()
+    }
+
+    fn pump_profile() -> mcps_device::profile::DeviceProfile {
+        mcps_device::pump::PcaPump::profile("P-1", false)
     }
 
     #[test]
@@ -379,5 +710,157 @@ mod tests {
         let s = sim.actor_as::<Supervisor>(sup).unwrap();
         assert!(!s.manager().fully_associated(), "silent device must vacate its slot");
         assert!(s.app_as::<Probe>().unwrap().ticks > 30);
+        // Losing a streaming device is a degraded-mode entry.
+        assert!(s.is_degraded());
+        assert_eq!(s.alarm(), Some("sensor-silent"));
+    }
+
+    /// Regression: `check_device_liveness` used to treat a *missing*
+    /// liveness clock as infinite silence, so a freshly associated
+    /// device whose clock had not been seeded was vacated on the very
+    /// first liveness tick. A missing entry must instead start the
+    /// clock at the current instant.
+    #[test]
+    fn missing_liveness_clock_is_seeded_not_vacated() {
+        let (mut sim, sup, dev, _) = setup();
+        deliver(
+            &mut sim,
+            sup,
+            dev,
+            NetPayload::Announce { profile: monitor_profile(), endpoint: dev },
+        );
+        // Simulate the pre-fix state: associated, but no liveness clock
+        // (the announce-time seeding is what normally prevents this).
+        sim.actor_as_mut::<Supervisor>(sup).unwrap().last_data.remove(&dev);
+        sim.schedule(sim.now(), sup, IceMsg::Tick);
+        sim.run_until(sim.now() + SimDuration::from_secs(5));
+        let s = sim.actor_as::<Supervisor>(sup).unwrap();
+        assert!(
+            s.manager().fully_associated(),
+            "a device with no data *yet* must not be vacated instantly"
+        );
+        assert!(!s.is_degraded());
+        // The clock the tick seeded now ages normally: 40 s of real
+        // silence later the device is gone.
+        let mut sim2 = sim;
+        sim2.run_until(sim2.now() + SimDuration::from_secs(40));
+        assert!(!sim2.actor_as::<Supervisor>(sup).unwrap().manager().fully_associated());
+    }
+
+    /// Regression: inflight entries for commands whose acks never come
+    /// used to leak forever — and precisely the worst RTTs were the
+    /// ones missing from the deadline statistics. They must expire at
+    /// the RTT deadline and count as unanswered.
+    #[test]
+    fn lost_ack_expires_inflight_and_counts_unanswered() {
+        // GrantTicket is non-retryable: expiry happens one deadline
+        // after the send, with no retransmission.
+        let (mut sim, sup, dev, _) = setup_with(OneShot::new(IceCommand::GrantTicket {
+            validity: SimDuration::from_secs(15),
+        }));
+        // The pump endpoint is bound to no actor, so the command (and
+        // any ack) vanishes into the void.
+        deliver(
+            &mut sim,
+            sup,
+            dev,
+            NetPayload::Announce { profile: pump_profile(), endpoint: dev },
+        );
+        sim.schedule(sim.now(), sup, IceMsg::Tick);
+        sim.run_until(sim.now() + SimDuration::from_secs(10));
+        let s = sim.actor_as::<Supervisor>(sup).unwrap();
+        assert_eq!(s.commands_sent(), 1);
+        assert_eq!(s.commands_retried(), 0, "ticket grants are never retried");
+        assert!(s.inflight.is_empty(), "expired entries must be removed");
+        assert_eq!(s.rtt().unanswered(), 1);
+        assert!(!s.is_degraded(), "a lost grant is not a lost pump");
+    }
+
+    /// A stop command whose acks are all lost is retried with backoff
+    /// and then escalated by the ack watchdog to degraded mode.
+    #[test]
+    fn lost_stop_ack_trips_watchdog_into_degraded() {
+        let (mut sim, sup, dev, _) = setup_with(OneShot::new(IceCommand::StopPump));
+        deliver(
+            &mut sim,
+            sup,
+            dev,
+            NetPayload::Announce { profile: pump_profile(), endpoint: dev },
+        );
+        sim.schedule(sim.now(), sup, IceMsg::Tick);
+        sim.run_until(sim.now() + SimDuration::from_secs(60));
+        let s = sim.actor_as::<Supervisor>(sup).unwrap();
+        // The app's stop is retried MAX_RETRIES times, then the
+        // watchdog fires; the degrade path keeps probing with fresh
+        // stops (each with its own retry cycle) as long as none is
+        // confirmed. The pump never answers, so degraded mode holds.
+        assert!(s.commands_retried() >= 2 * u64::from(MAX_RETRIES));
+        assert!(s.inflight.len() <= 1, "at most the current probe is outstanding");
+        assert!(s.watchdog_escalations() >= 2);
+        assert!(s.is_degraded(), "an unconfirmed stop must hold degraded mode");
+        assert_eq!(s.alarm(), Some("stop-ack-lost"));
+        assert!(s.rtt().unanswered() >= 2, "each dead stop counts once, not per retry");
+        assert_eq!(
+            s.rtt().unanswered() * u64::from(MAX_RETRIES),
+            s.commands_retried(),
+            "every dead stop ran a full retry cycle"
+        );
+    }
+
+    /// Degraded mode is exited hysteretically: only after the system
+    /// has been fully associated with fresh data for the whole settling
+    /// window, and transient recoveries reset the clock.
+    #[test]
+    fn degraded_mode_exits_hysteretically_on_recovery() {
+        let (mut sim, sup, dev, _) = setup();
+        deliver(
+            &mut sim,
+            sup,
+            dev,
+            NetPayload::Announce { profile: monitor_profile(), endpoint: dev },
+        );
+        sim.schedule(sim.now(), sup, IceMsg::Tick);
+        // 40 s of silence: vacate + degrade.
+        sim.run_until(sim.now() + SimDuration::from_secs(40));
+        assert!(sim.actor_as::<Supervisor>(sup).unwrap().is_degraded());
+        // Device comes back: re-announce, then fresh data every second.
+        let back = sim.now() + SimDuration::from_secs(1);
+        sim.schedule(
+            back,
+            sup,
+            IceMsg::Net(NetOp::Deliver {
+                from: dev,
+                payload: NetPayload::Announce { profile: monitor_profile(), endpoint: dev },
+            }),
+        );
+        for i in 1..=30u64 {
+            let at = back + SimDuration::from_secs(i);
+            sim.schedule(
+                at,
+                sup,
+                IceMsg::Net(NetOp::Deliver {
+                    from: dev,
+                    payload: NetPayload::Data {
+                        kind: VitalKind::Spo2,
+                        value: 97.0,
+                        sampled_at: at,
+                    },
+                }),
+            );
+        }
+        // Inside the hysteresis window the mode must hold.
+        sim.run_until(back + SimDuration::from_secs(10));
+        assert!(
+            sim.actor_as::<Supervisor>(sup).unwrap().is_degraded(),
+            "must stay degraded inside the hysteresis window"
+        );
+        sim.run_until(back + SimDuration::from_secs(30));
+        let s = sim.actor_as::<Supervisor>(sup).unwrap();
+        assert!(!s.is_degraded(), "healthy for > hysteresis window: degraded mode ends");
+        assert!(s.alarm().is_none(), "alarm clears on exit");
+        let log = s.degraded_log();
+        assert_eq!(log.len(), 1);
+        assert!(log[0].1.is_some(), "the degraded window is closed");
+        assert_eq!(s.associations_completed(), 2, "recovery counted as a hot-swap");
     }
 }

@@ -79,10 +79,15 @@ fn multibed_json() -> String {
     serde_json::to_string(&out).expect("outcomes serialize")
 }
 
-/// Hash recorded on the pre-refactor fabric (string-keyed `BTreeMap`
-/// routing). The dense-routed fabric must reproduce it exactly.
-const E4_GRID_HASH: u64 = 0x96fb_e308_4fa6_b253;
-const E4_GRID_LEN: usize = 4169;
+/// Hash pins. MULTIBED is still the value recorded on the pre-refactor
+/// (string-keyed `BTreeMap`-routed) fabric. E4 was re-recorded after
+/// the supervisor fault-robustness work (command retry/backoff, ack
+/// expiry, degraded mode) deliberately changed supervisor traffic on
+/// lossy links and added fields to the serialized outcome; fabric
+/// equivalence itself is still guaranteed bit-exactly by the
+/// `dense_vs_reference` proptests in `mcps-net`.
+const E4_GRID_HASH: u64 = 0x6340_065b_0749_4b06;
+const E4_GRID_LEN: usize = 4551;
 const MULTIBED_HASH: u64 = 0xc1f3_0e1c_ce19_7b10;
 const MULTIBED_LEN: usize = 1127;
 
