@@ -16,8 +16,9 @@
 #      the routing/256 fan-out workload regresses past its ceiling, and
 #      BENCH_net.json must be emitted
 #   9. fault-campaign smoke                     — bench_faults --quick
-#      fails on ANY no-overdose invariant violation in the reduced
-#      fault grid, or if the campaign blows its wall-clock ceiling
+#      fails on ANY invariant violation in the reduced fault grid
+#      (no-overdose, plus failover/split-brain for the supervisor-crash
+#      and partition cells), or if the campaign blows its ceiling
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -54,7 +55,7 @@ cargo build --release -q -p mcps-bench --bin bench_fabric
 test -s target/BENCH_net.json || { echo "BENCH_net.json missing"; exit 1; }
 echo "routing/256 under the 5s ceiling (target/BENCH_net.json)"
 
-echo "== fault-campaign smoke (no-overdose invariant) =="
+echo "== fault-campaign smoke (no-overdose + failover invariants) =="
 cargo build --release -q -p mcps-bench --bin bench_faults
 ./target/release/bench_faults --quick --out target/BENCH_faults.json --max-ms 60000 > /dev/null
 test -s target/BENCH_faults.json || { echo "BENCH_faults.json missing"; exit 1; }

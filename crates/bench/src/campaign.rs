@@ -24,6 +24,11 @@
 //!   the fault does not silence the data plane, so the scenario may
 //!   run on; the invariant is the backstop that if ground-truth danger
 //!   occurs the pump stops within [`DANGER_DEADLINE_SECS`].
+//! * **Failover** (supervisor crash, network partition): the fault
+//!   removes the *controller*, not a device, so these cells run with a
+//!   warm standby supervisor. The standby must promote (≥ 1 failover)
+//!   and the epoch fence must prevent any same-epoch double actuation;
+//!   the danger backstop must hold *across* the failover.
 //!
 //! The danger backstop applies to *every* cell on top of its class
 //! check. Spurious degradations — supervisor degraded-mode entries
@@ -63,6 +68,12 @@ pub enum FaultTarget {
     Oximeter,
     /// The pump controller (command/ack plane).
     Pump,
+    /// The primary supervisor process (control plane). These cells run
+    /// with a warm standby supervisor.
+    Supervisor,
+    /// The network itself: a partition isolating the primary
+    /// supervisor. These cells also run with a warm standby.
+    Network,
 }
 
 /// Which invariant check scores the cell.
@@ -74,6 +85,11 @@ pub enum InvariantClass {
     Plausibility,
     /// Backstop only: danger ⇒ stop within the danger deadline.
     Danger,
+    /// Control-plane loss: the standby must promote (≥ 1 failover) and
+    /// the epoch fence must prevent any same-epoch double actuation —
+    /// on top of the universal danger backstop, which must hold across
+    /// the failover itself.
+    Failover,
 }
 
 /// One cell of the campaign grid.
@@ -190,6 +206,23 @@ fn kind_axis() -> Vec<(&'static str, Option<FaultKind>, FaultTarget, InvariantCl
             InvariantClass::Danger,
         ),
         ("dup-ack", Some(FaultKind::DuplicateAck), FaultTarget::Pump, InvariantClass::Danger),
+        (
+            "sup-crash",
+            Some(FaultKind::SupervisorCrash),
+            FaultTarget::Supervisor,
+            InvariantClass::Failover,
+        ),
+        // Masks index the scenario's endpoint creation order (bit 3 =
+        // primary supervisor, bit 4 = standby): side A is the primary
+        // alone, side B is every device plus the standby, so the
+        // partitioned ex-primary keeps *believing* it is in charge —
+        // the worst case for split-brain.
+        (
+            "partition",
+            Some(FaultKind::Partition { group_a: 0b00_1000, group_b: 0b11_0111 }),
+            FaultTarget::Network,
+            InvariantClass::Failover,
+        ),
     ]
 }
 
@@ -286,6 +319,15 @@ pub struct CellReport {
     pub commands_retried: u64,
     /// App commands suppressed while degraded (all trials).
     pub commands_suppressed: u64,
+    /// Standby → primary failovers (all trials).
+    pub failovers: u64,
+    /// Stale-epoch commands the pump fenced off (all trials).
+    pub fenced_commands: u64,
+    /// Same-epoch commands from two controllers (all trials; any value
+    /// above 0 is a split-brain actuation).
+    pub double_actuations: u64,
+    /// Pump local fail-safe latches (all trials).
+    pub local_failsafe_entries: u64,
     /// Worst cumulative drug across trials, mg.
     pub max_total_drug_mg: f64,
     /// Deepest true SpO₂ across trials, %.
@@ -341,10 +383,21 @@ fn evaluate(
     }
 
     // Class-specific check.
+    if spec.invariant == InvariantClass::Failover {
+        if out.failovers < 1 {
+            violation.get_or_insert("primary lost and the standby never promoted".to_owned());
+        }
+        if out.double_actuations > 0 {
+            violation.get_or_insert(format!(
+                "{} same-epoch command(s) from two controllers (split-brain actuation)",
+                out.double_actuations
+            ));
+        }
+    }
     let deadline = match spec.invariant {
         InvariantClass::Freshness => Some(FRESHNESS_DEADLINE_SECS),
         InvariantClass::Plausibility => Some(PLAUSIBILITY_DEADLINE_SECS),
-        InvariantClass::Danger => None,
+        InvariantClass::Danger | InvariantClass::Failover => None,
     };
     if let Some(deadline) = deadline {
         match failsafe {
@@ -401,6 +454,11 @@ fn trial_config(spec: &CellSpec, cfg: &CampaignConfig, trial: u64) -> PcaScenari
         match spec.target {
             FaultTarget::Oximeter => c.oximeter_fault = plan,
             FaultTarget::Pump => c.pump_fault = plan,
+            FaultTarget::Supervisor | FaultTarget::Network => {
+                // Control-plane cells exercise the redundant pair.
+                c.standby_supervisor = true;
+                c.supervisor_fault = plan;
+            }
             FaultTarget::None => {}
         }
     }
@@ -421,6 +479,10 @@ pub fn run_cell(spec: &CellSpec, cfg: &CampaignConfig) -> CellReport {
     let mut degraded_entries = 0u64;
     let mut commands_retried = 0u64;
     let mut commands_suppressed = 0u64;
+    let mut failovers = 0u64;
+    let mut fenced_commands = 0u64;
+    let mut double_actuations = 0u64;
+    let mut local_failsafe_entries = 0u64;
     let mut max_drug = 0f64;
     let mut min_spo2 = f64::INFINITY;
     for trial in 0..cfg.trials {
@@ -437,6 +499,10 @@ pub fn run_cell(spec: &CellSpec, cfg: &CampaignConfig) -> CellReport {
         degraded_entries += out.degraded_windows_secs.len() as u64;
         commands_retried += out.commands_retried;
         commands_suppressed += out.commands_suppressed;
+        failovers += u64::from(out.failovers);
+        fenced_commands += out.fenced_commands;
+        double_actuations += out.double_actuations;
+        local_failsafe_entries += out.local_failsafe_entries;
         max_drug = max_drug.max(out.total_drug_mg);
         min_spo2 = min_spo2.min(out.patient.min_spo2);
     }
@@ -466,6 +532,10 @@ pub fn run_cell(spec: &CellSpec, cfg: &CampaignConfig) -> CellReport {
         degraded_entries,
         commands_retried,
         commands_suppressed,
+        failovers,
+        fenced_commands,
+        double_actuations,
+        local_failsafe_entries,
         max_total_drug_mg: max_drug,
         min_spo2,
     }
@@ -505,8 +575,8 @@ mod tests {
         // the duration axis is meaningless without a fault.
         let controls = a.iter().filter(|c| c.fault.is_none()).count();
         assert_eq!(controls, cfg.onsets.len() * 2 * 2);
-        // 7 fault kinds × 2 durations + 1 control, × outage × scenario.
-        assert_eq!(a.len(), cfg.onsets.len() * (7 * 2 + 1) * 2 * 2);
+        // 9 fault kinds × 2 durations + 1 control, × outage × scenario.
+        assert_eq!(a.len(), cfg.onsets.len() * (9 * 2 + 1) * 2 * 2);
     }
 
     #[test]
@@ -530,5 +600,34 @@ mod tests {
         assert!(fs.max_secs <= FRESHNESS_DEADLINE_SECS, "{}", fs.max_secs);
         assert_eq!(report.spurious_degradations, 0);
         assert!(report.degraded_entries >= 1, "sensor loss must degrade the supervisor");
+    }
+
+    #[test]
+    fn supervisor_crash_cell_fails_over_with_zero_violations() {
+        let mut cfg = CampaignConfig::quick(5);
+        cfg.run = SimDuration::from_mins(15);
+        let spec = build_grid(&cfg)
+            .into_iter()
+            .find(|c| c.kind_label == "sup-crash" && !c.backup && c.outage.is_none())
+            .expect("sup-crash cell in grid");
+        let report = run_cell(&spec, &cfg);
+        assert_eq!(report.violations, 0, "reasons: {:?}", report.violation_reasons);
+        assert!(report.failovers >= 1, "the standby must promote");
+        assert_eq!(report.double_actuations, 0);
+        assert_eq!(report.spurious_degradations, 0);
+    }
+
+    #[test]
+    fn partition_cell_fences_the_isolated_primary() {
+        let mut cfg = CampaignConfig::quick(5);
+        cfg.run = SimDuration::from_mins(15);
+        let spec = build_grid(&cfg)
+            .into_iter()
+            .find(|c| c.kind_label == "partition" && !c.backup && c.outage.is_none())
+            .expect("partition cell in grid");
+        let report = run_cell(&spec, &cfg);
+        assert_eq!(report.violations, 0, "reasons: {:?}", report.violation_reasons);
+        assert!(report.failovers >= 1, "checkpoint silence must promote the standby");
+        assert_eq!(report.double_actuations, 0, "the epoch fence must hold");
     }
 }

@@ -36,6 +36,41 @@ const ANNOUNCE_PERIOD: SimDuration = SimDuration::from_secs(10);
 /// horizon, not the run length.
 const APPLIED_ID_WINDOW: usize = 64;
 
+/// Default supervision deadline of the device-local fail-safe watchdog:
+/// a pump that hears neither a heartbeat nor a command for this long
+/// suspends bolus delivery autonomously. Three missed 5 s heartbeats —
+/// long enough to ride out a supervisor failover (promotion fires after
+/// ~10 s of checkpoint silence), short enough that an unsupervised pump
+/// cannot keep granting boluses for a dangerous stretch.
+pub const LOCAL_FAILSAFE_DEADLINE: SimDuration = SimDuration::from_secs(15);
+
+/// Sliding window of recently applied commands, keyed by
+/// `(epoch, id)` so a post-failover command can never be confused with
+/// a pre-failover one even if the two supervisors' id counters collide.
+/// Holds the last [`APPLIED_ID_WINDOW`] first-application records;
+/// entries are unique because the caller only records on first
+/// application.
+#[derive(Debug, Default)]
+struct CommandDedup {
+    applied: VecDeque<(u64, u64, SimTime)>,
+}
+
+impl CommandDedup {
+    /// When the command was first applied, if it is still in the window.
+    fn seen(&self, epoch: u64, id: u64) -> Option<SimTime> {
+        self.applied.iter().find(|&&(e, i, _)| e == epoch && i == id).map(|&(.., at)| at)
+    }
+
+    /// Records a first application, evicting the oldest entry when the
+    /// window is full.
+    fn record(&mut self, epoch: u64, id: u64, at: SimTime) {
+        if self.applied.len() == APPLIED_ID_WINDOW {
+            self.applied.pop_front();
+        }
+        self.applied.push_back((epoch, id, at));
+    }
+}
+
 fn announce(
     ctx: &mut Context<'_, IceMsg>,
     netctl: ActorId,
@@ -63,16 +98,37 @@ pub struct PumpActor {
     step: SimDuration,
     scope: String,
     fault: FaultPlan,
-    /// Recently applied command ids with their application instant —
-    /// retried commands (same id) are acked again but not re-applied,
-    /// so a retry can never, say, extend a ticket's validity window.
-    applied_ids: VecDeque<(u64, SimTime)>,
+    /// Recently applied `(epoch, id)` pairs with their application
+    /// instant — retried commands (same epoch and id) are acked again
+    /// but not re-applied, so a retry can never, say, extend a ticket's
+    /// validity window.
+    dedup: CommandDedup,
     duplicate_commands: u64,
     next_announce: Option<SimTime>,
     was_permitted: bool,
     /// Transitions of the delivery-permission state: `(instant, permitted)`.
     permit_log: Vec<(SimTime, bool)>,
     decisions: BTreeMap<&'static str, u32>,
+    /// Fail-safe watchdog deadline (`None` = watchdog disabled, e.g.
+    /// the open-loop arm, which runs without a supervising interlock).
+    supervision: Option<SimDuration>,
+    /// Last instant supervisory traffic (heartbeat or command) was
+    /// accepted; seeded at the first tick so a pump powered on before
+    /// its supervisor does not latch instantly.
+    last_supervision: Option<SimTime>,
+    /// Whether the local fail-safe latch is engaged.
+    local_failsafe: bool,
+    local_failsafe_entries: u64,
+    /// Latch transitions: `(instant, engaged)`.
+    failsafe_log: Vec<(SimTime, bool)>,
+    /// Highest supervisor epoch observed; lower-epoch commands are
+    /// fenced (dropped without an ack).
+    max_epoch_seen: u64,
+    fenced_commands: u64,
+    /// First controller endpoint accepted per epoch — a second distinct
+    /// sender in the same epoch is a split-brain double actuation.
+    epoch_senders: BTreeMap<u64, EndpointId>,
+    double_actuations: u64,
 }
 
 impl PumpActor {
@@ -86,13 +142,30 @@ impl PumpActor {
             step: SimDuration::from_secs(1),
             scope: String::new(),
             fault: FaultPlan::none(),
-            applied_ids: VecDeque::new(),
+            dedup: CommandDedup::default(),
             duplicate_commands: 0,
             next_announce: None,
             was_permitted: false,
             permit_log: Vec::new(),
             decisions: BTreeMap::new(),
+            supervision: None,
+            last_supervision: None,
+            local_failsafe: false,
+            local_failsafe_entries: 0,
+            failsafe_log: Vec::new(),
+            max_epoch_seen: 0,
+            fenced_commands: 0,
+            epoch_senders: BTreeMap::new(),
+            double_actuations: 0,
         }
+    }
+
+    /// Arms the device-local fail-safe watchdog: if no heartbeat or
+    /// command is accepted for `deadline`, the pump suspends bolus
+    /// delivery (basal-only safe state) until an explicit `ResumePump`.
+    pub fn with_supervision(mut self, deadline: SimDuration) -> Self {
+        self.supervision = Some(deadline);
+        self
     }
 
     /// Sets the topic scope (bed id) this pump announces under.
@@ -117,6 +190,38 @@ impl PumpActor {
     /// retries absorbed by idempotence).
     pub fn duplicate_commands(&self) -> u64 {
         self.duplicate_commands
+    }
+
+    /// Whether the local fail-safe latch is currently engaged.
+    pub fn local_failsafe(&self) -> bool {
+        self.local_failsafe
+    }
+
+    /// Times the fail-safe watchdog fired (supervision silence past the
+    /// deadline).
+    pub fn local_failsafe_entries(&self) -> u64 {
+        self.local_failsafe_entries
+    }
+
+    /// Fail-safe latch transitions: `(instant, engaged)`, oldest first.
+    pub fn failsafe_log(&self) -> &[(SimTime, bool)] {
+        &self.failsafe_log
+    }
+
+    /// Stale-epoch commands rejected by the fence.
+    pub fn fenced_commands(&self) -> u64 {
+        self.fenced_commands
+    }
+
+    /// Accepted commands from a *second* distinct controller within one
+    /// epoch — must stay zero if the epoch fence is split-brain safe.
+    pub fn double_actuations(&self) -> u64 {
+        self.double_actuations
+    }
+
+    /// Highest supervisor epoch this pump has accepted a command from.
+    pub fn max_epoch_seen(&self) -> u64 {
+        self.max_epoch_seen
     }
 
     /// The wrapped pump.
@@ -159,6 +264,7 @@ impl PumpActor {
             BolusDecision::HourlyLimit => "hourly-limit",
             BolusDecision::Stopped => "stopped",
             BolusDecision::NoTicket => "no-ticket",
+            BolusDecision::Suspended => "suspended",
         };
         *self.decisions.entry(key).or_insert(0) += 1;
     }
@@ -192,6 +298,25 @@ impl Actor<IceMsg> for PumpActor {
                     );
                 }
                 self.was_permitted = permitted;
+                // Device-local fail-safe watchdog: silence on the
+                // command channel past the deadline suspends boluses
+                // until an explicit post-recovery resume. A crashed
+                // controller cannot run its own watchdog.
+                if let Some(deadline) = self.supervision {
+                    if !self.fault.is_crashed(now) {
+                        let last = *self.last_supervision.get_or_insert(now);
+                        if !self.local_failsafe && now.saturating_since(last) >= deadline {
+                            self.local_failsafe = true;
+                            self.local_failsafe_entries += 1;
+                            self.failsafe_log.push((now, true));
+                            self.pump.suspend_bolus(now);
+                            ctx.trace(
+                                "pump",
+                                "local fail-safe: supervision lost, boluses suspended",
+                            );
+                        }
+                    }
+                }
                 ctx.schedule_self(self.step, IceMsg::Tick);
             }
             IceMsg::PressButton => {
@@ -201,42 +326,79 @@ impl Actor<IceMsg> for PumpActor {
             }
             IceMsg::Net(NetOp::Deliver {
                 from,
-                payload: NetPayload::Command { id, command: cmd },
+                payload: NetPayload::Command { id, epoch, command: cmd },
             }) => {
                 if self.fault.is_crashed(now) {
                     ctx.trace("pump", "command dropped: controller crashed");
                     return;
                 }
-                let already = self.applied_ids.iter().find(|(i, _)| *i == id).map(|&(_, at)| at);
-                let applied_at = match already {
-                    Some(at) => {
-                        // Idempotence: a retried command is acknowledged
-                        // (the first ack was evidently lost) but not
-                        // re-applied.
-                        self.duplicate_commands += 1;
-                        ctx.trace("pump", format!("duplicate command id {id} absorbed"));
-                        at
+                // Epoch fence: a command from a superseded supervisor
+                // is dropped without an ack — after a failover the
+                // partitioned ex-primary must not actuate anything.
+                if epoch < self.max_epoch_seen {
+                    self.fenced_commands += 1;
+                    ctx.trace(
+                        "pump",
+                        format!(
+                            "fenced stale command id {id} (epoch {epoch} < {})",
+                            self.max_epoch_seen
+                        ),
+                    );
+                    return;
+                }
+                self.max_epoch_seen = epoch;
+                // Split-brain audit: within one epoch exactly one
+                // controller may command this pump.
+                match self.epoch_senders.get(&epoch) {
+                    Some(&prev) if prev != from => {
+                        self.double_actuations += 1;
+                        ctx.trace("pump", format!("double actuation in epoch {epoch}"));
                     }
                     None => {
-                        match cmd {
-                            IceCommand::StopPump => {
-                                self.pump.stop(now, mcps_device::pump::StopReason::Command);
-                                ctx.trace("pump", "stop command applied");
-                            }
-                            IceCommand::ResumePump => {
-                                self.pump.resume(now);
-                                ctx.trace("pump", "resume command applied");
-                            }
-                            IceCommand::GrantTicket { validity } => {
-                                self.pump.grant_ticket(now, validity);
-                            }
-                            _ => return, // not a pump command
+                        self.epoch_senders.insert(epoch, from);
+                    }
+                    _ => {}
+                }
+                // Any accepted supervisory traffic feeds the watchdog.
+                self.last_supervision = Some(now);
+                let applied_at = if cmd == IceCommand::Heartbeat {
+                    // Pure liveness probe: ack immediately, skip the
+                    // dedup window (heartbeats are never retried and
+                    // would churn real command ids out of it).
+                    now
+                } else {
+                    match self.dedup.seen(epoch, id) {
+                        Some(at) => {
+                            // Idempotence: a retried command is
+                            // acknowledged (the first ack was evidently
+                            // lost) but not re-applied.
+                            self.duplicate_commands += 1;
+                            ctx.trace("pump", format!("duplicate command id {id} absorbed"));
+                            at
                         }
-                        if self.applied_ids.len() == APPLIED_ID_WINDOW {
-                            self.applied_ids.pop_front();
+                        None => {
+                            match cmd {
+                                IceCommand::StopPump => {
+                                    self.pump.stop(now, mcps_device::pump::StopReason::Command);
+                                    ctx.trace("pump", "stop command applied");
+                                }
+                                IceCommand::ResumePump => {
+                                    self.pump.resume(now);
+                                    if self.local_failsafe {
+                                        self.local_failsafe = false;
+                                        self.failsafe_log.push((now, false));
+                                        ctx.trace("pump", "local fail-safe released by resume");
+                                    }
+                                    ctx.trace("pump", "resume command applied");
+                                }
+                                IceCommand::GrantTicket { validity } => {
+                                    self.pump.grant_ticket(now, validity);
+                                }
+                                _ => return, // not a pump command
+                            }
+                            self.dedup.record(epoch, id, now);
+                            now
                         }
-                        self.applied_ids.push_back((id, now));
-                        now
                     }
                 };
                 let ack = IceMsg::Net(NetOp::Send {
@@ -417,7 +579,7 @@ impl Actor<IceMsg> for VentilatorActor {
             }
             IceMsg::Net(NetOp::Deliver {
                 from,
-                payload: NetPayload::Command { id, command: cmd },
+                payload: NetPayload::Command { id, epoch: _, command: cmd },
             }) => {
                 match cmd {
                     IceCommand::PauseVentilation { duration } => {
@@ -428,6 +590,7 @@ impl Actor<IceMsg> for VentilatorActor {
                         self.vent.resume(now);
                         ctx.trace("vent", "resumed");
                     }
+                    IceCommand::Heartbeat => {} // liveness probe: ack only
                     _ => return,
                 }
                 ctx.send(
@@ -478,7 +641,7 @@ impl Actor<IceMsg> for XRayActor {
             }
             IceMsg::Net(NetOp::Deliver {
                 from,
-                payload: NetPayload::Command { id, command: cmd },
+                payload: NetPayload::Command { id, epoch: _, command: cmd },
             }) => {
                 match cmd {
                     IceCommand::ArmExposure => {
@@ -489,6 +652,7 @@ impl Actor<IceMsg> for XRayActor {
                         Some(e) => ctx.trace("xray", format!("exposure {} .. {}", e.start, e.end)),
                         None => ctx.trace("xray", "expose refused (not armed)"),
                     },
+                    IceCommand::Heartbeat => {} // liveness probe: ack only
                     _ => return,
                 }
                 ctx.send(
@@ -535,7 +699,7 @@ mod tests {
                     NetPayload::Announce { .. } => self.announces += 1,
                     NetPayload::Data { .. } => self.data += 1,
                     NetPayload::Ack { .. } => self.acks += 1,
-                    NetPayload::Command { .. } => {}
+                    NetPayload::Command { .. } | NetPayload::Checkpoint { .. } => {}
                 }
             }
         }
@@ -624,7 +788,7 @@ mod tests {
             p_id,
             IceMsg::Net(NetOp::Deliver {
                 from: r.sup_ep,
-                payload: NetPayload::Command { id: 1, command: IceCommand::StopPump },
+                payload: NetPayload::Command { id: 1, epoch: 1, command: IceCommand::StopPump },
             }),
         );
         r.sim.run_until(SimTime::from_secs(10));
@@ -666,6 +830,7 @@ mod tests {
                 from: r.sup_ep,
                 payload: NetPayload::Command {
                     id,
+                    epoch: 1,
                     command: IceCommand::GrantTicket { validity: SimDuration::from_secs(15) },
                 },
             })
@@ -703,7 +868,7 @@ mod tests {
                 SimTime::from_secs(t),
                 IceMsg::Net(NetOp::Deliver {
                     from: r.sup_ep,
-                    payload: NetPayload::Command { id, command },
+                    payload: NetPayload::Command { id, epoch: 1, command },
                 }),
             )
         };
@@ -739,7 +904,7 @@ mod tests {
             p_id,
             IceMsg::Net(NetOp::Deliver {
                 from: r.sup_ep,
-                payload: NetPayload::Command { id: 1, command: IceCommand::StopPump },
+                payload: NetPayload::Command { id: 1, epoch: 1, command: IceCommand::StopPump },
             }),
         );
         r.sim.run_until(SimTime::from_secs(15));
@@ -802,6 +967,7 @@ mod tests {
                 from: r.sup_ep,
                 payload: NetPayload::Command {
                     id: 1,
+                    epoch: 1,
                     command: IceCommand::PauseVentilation { duration: SimDuration::from_secs(8) },
                 },
             }),
@@ -811,13 +977,168 @@ mod tests {
             v_id,
             IceMsg::Net(NetOp::Deliver {
                 from: r.sup_ep,
-                payload: NetPayload::Command { id: 2, command: IceCommand::ResumeVentilation },
+                payload: NetPayload::Command {
+                    id: 2,
+                    epoch: 1,
+                    command: IceCommand::ResumeVentilation,
+                },
             }),
         );
         r.sim.run_until(SimTime::from_secs(20));
         let va = r.sim.actor_as::<VentilatorActor>(v_id).unwrap();
         assert_eq!(va.ventilator().pause_log(), &[(SimTime::from_secs(5), SimTime::from_secs(9))]);
         assert_eq!(r.sim.actor_as::<Sink>(r.sink_id).unwrap().acks, 2);
+    }
+
+    /// Silence past the supervision deadline latches the fail-safe:
+    /// boluses are suspended until an explicit `ResumePump`, which both
+    /// releases the latch and refreshes the watchdog.
+    #[test]
+    fn pump_watchdog_latches_on_silence_and_resume_releases() {
+        let mut r = rig();
+        let pump = PcaPump::new(PcaPumpConfig::default());
+        let p_id = r.sim.add_actor(
+            "pump",
+            PumpActor::new(pump, r.body.clone(), r.nc_id, r.dev_ep)
+                .with_supervision(SimDuration::from_secs(15)),
+        );
+        r.sim.actor_as_mut::<NetworkController>(r.nc_id).unwrap().bind(r.dev_ep, p_id);
+        r.sim.schedule(SimTime::ZERO, p_id, IceMsg::Tick);
+        // A heartbeat at t=10 defers the latch to ~t=25.
+        r.sim.schedule(
+            SimTime::from_secs(10),
+            p_id,
+            IceMsg::Net(NetOp::Deliver {
+                from: r.sup_ep,
+                payload: NetPayload::Command { id: 1, epoch: 1, command: IceCommand::Heartbeat },
+            }),
+        );
+        r.sim.schedule(SimTime::from_secs(20), p_id, IceMsg::PressButton);
+        r.sim.schedule(SimTime::from_secs(40), p_id, IceMsg::PressButton);
+        r.sim.schedule(
+            SimTime::from_secs(50),
+            p_id,
+            IceMsg::Net(NetOp::Deliver {
+                from: r.sup_ep,
+                payload: NetPayload::Command { id: 2, epoch: 1, command: IceCommand::ResumePump },
+            }),
+        );
+        r.sim.schedule(SimTime::from_secs(55), p_id, IceMsg::PressButton);
+        r.sim.run_until(SimTime::from_secs(60));
+        let pa = r.sim.actor_as::<PumpActor>(p_id).unwrap();
+        assert_eq!(pa.local_failsafe_entries(), 1);
+        assert!(!pa.local_failsafe(), "resume released the latch");
+        assert_eq!(pa.decisions().get("started"), Some(&1), "t=20 bolus pre-dates the latch");
+        assert_eq!(pa.decisions().get("suspended"), Some(&1), "t=40 bolus denied by fail-safe");
+        // The t=55 press is denied by the ordinary lockout interval,
+        // not the fail-safe — proof the resume released the latch
+        // (suspension outranks lockout, so a held latch would say
+        // "suspended" here).
+        assert_eq!(pa.decisions().get("locked-out"), Some(&1), "t=55 denial is lockout");
+        let latch = pa.failsafe_log().first().expect("latch transition logged");
+        assert!(
+            latch.0 >= SimTime::from_secs(25) && latch.0 <= SimTime::from_secs(27),
+            "{latch:?}"
+        );
+        // The heartbeat was acked (plus the resume's ack).
+        assert_eq!(r.sim.actor_as::<Sink>(r.sink_id).unwrap().acks, 2);
+    }
+
+    /// Stale-epoch commands are dropped without application or ack, and
+    /// two distinct controllers in one epoch register a double
+    /// actuation.
+    #[test]
+    fn pump_epoch_fence_rejects_stale_and_flags_double_actuation() {
+        let mut r = rig();
+        let standby_ep = {
+            let nc = r.sim.actor_as_mut::<NetworkController>(r.nc_id).unwrap();
+            nc.fabric_mut().add_endpoint("standby")
+        };
+        let pump = PcaPump::new(PcaPumpConfig::default());
+        let p_id = r.sim.add_actor("pump", PumpActor::new(pump, r.body.clone(), r.nc_id, r.dev_ep));
+        {
+            let nc = r.sim.actor_as_mut::<NetworkController>(r.nc_id).unwrap();
+            nc.bind(r.dev_ep, p_id);
+            // Acks route back to their sender: the standby's ack must
+            // land in the same sink as the primary's.
+            nc.bind(standby_ep, r.sink_id);
+        }
+        let cmd = |from, id, epoch, command, t| {
+            (
+                SimTime::from_secs(t),
+                IceMsg::Net(NetOp::Deliver {
+                    from,
+                    payload: NetPayload::Command { id, epoch, command },
+                }),
+            )
+        };
+        // Promoted standby stops the pump in epoch 2 …
+        let (t1, m1) = cmd(standby_ep, 1, 2, IceCommand::StopPump, 5);
+        // … then the partitioned ex-primary's stale resume (epoch 1)
+        // must be fenced, not applied.
+        let (t2, m2) = cmd(r.sup_ep, 9, 1, IceCommand::ResumePump, 6);
+        // A same-epoch command from a second controller is a double
+        // actuation (applied — the fence can't tell which is right —
+        // but audited).
+        let (t3, m3) = cmd(r.sup_ep, 10, 2, IceCommand::Heartbeat, 7);
+        for (t, m) in [(t1, m1), (t2, m2), (t3, m3)] {
+            r.sim.schedule(t, p_id, m);
+        }
+        r.sim.run_until(SimTime::from_secs(10));
+        let pa = r.sim.actor_as::<PumpActor>(p_id).unwrap();
+        assert_eq!(
+            pa.pump().state(),
+            PumpState::Stopped(mcps_device::pump::StopReason::Command),
+            "stale resume must not restart the pump"
+        );
+        assert_eq!(pa.fenced_commands(), 1);
+        assert_eq!(pa.max_epoch_seen(), 2);
+        assert_eq!(pa.double_actuations(), 1);
+        // Acks: stop + heartbeat; the fenced command got none.
+        assert_eq!(r.sim.actor_as::<Sink>(r.sink_id).unwrap().acks, 2);
+    }
+
+    proptest::proptest! {
+        /// The 64-entry dedup window agrees with a naive oracle built
+        /// from the full record history: `seen` returns exactly the
+        /// most recent record among the last 64, and never invents an
+        /// entry (no false accepts after wraparound).
+        #[test]
+        fn command_dedup_window_matches_unbounded_oracle(
+            ops in proptest::collection::vec((0u64..2, 0u64..200), 1..300),
+        ) {
+            let mut dedup = CommandDedup::default();
+            // Mirror of every `record` call, unbounded.
+            let mut history: Vec<(u64, u64, SimTime)> = Vec::new();
+            for (step, &(epoch, id)) in ops.iter().enumerate() {
+                let now = SimTime::from_secs(step as u64);
+                // The actor's loop: record only on first sight.
+                if dedup.seen(epoch, id).is_none() {
+                    dedup.record(epoch, id, now);
+                    history.push((epoch, id, now));
+                }
+                // The window must equal the last 64 record events of
+                // the unbounded history, nothing else.
+                let tail = &history[history.len().saturating_sub(APPLIED_ID_WINDOW)..];
+                proptest::prop_assert_eq!(
+                    dedup.applied.iter().copied().collect::<Vec<_>>(),
+                    tail.to_vec(),
+                    "window diverged from oracle tail at step {}",
+                    step
+                );
+                // Spot-probe this step's key: its answer must be the
+                // tail's most recent matching record (idempotent re-ack
+                // with the *original* application instant), and a key
+                // outside the tail must not be invented.
+                let expect = tail
+                    .iter()
+                    .rev()
+                    .find(|&&(e, i, _)| e == epoch && i == id)
+                    .map(|&(.., at)| at);
+                proptest::prop_assert_eq!(dedup.seen(epoch, id), expect);
+                proptest::prop_assert_eq!(dedup.seen(epoch + 7, id), None, "no false accepts");
+            }
+        }
     }
 
     #[test]
@@ -833,7 +1154,7 @@ mod tests {
                 x_id,
                 IceMsg::Net(NetOp::Deliver {
                     from: r.sup_ep,
-                    payload: NetPayload::Command { id, command: cmd },
+                    payload: NetPayload::Command { id, epoch: 1, command: cmd },
                 }),
             );
         }

@@ -35,6 +35,13 @@ pub enum IceCommand {
     ArmExposure,
     /// Fire the x-ray.
     Expose,
+    /// Periodic supervisor liveness probe. Applied as a no-op but
+    /// acknowledged like any command, so the round-trip (a) feeds the
+    /// device-local fail-safe watchdog — a pump that hears neither a
+    /// heartbeat nor a real command within its supervision deadline
+    /// falls back to a basal-only safe state — and (b) gives the
+    /// supervisor a continuous RTT signal on the command channel.
+    Heartbeat,
 }
 
 /// Payload of a network message.
@@ -62,6 +69,11 @@ pub enum NetPayload {
         /// so round-trips pair up even when identical command kinds
         /// are in flight concurrently.
         id: u64,
+        /// Supervisor fencing epoch. Devices remember the highest epoch
+        /// they have seen and silently reject commands from lower ones,
+        /// so a partitioned ex-primary's stale commands cannot actuate
+        /// anything after a standby has promoted (split-brain safety).
+        epoch: u64,
         /// The command itself.
         command: IceCommand,
     },
@@ -73,6 +85,25 @@ pub enum NetPayload {
         command: IceCommand,
         /// When the device applied it.
         applied_at: SimTime,
+    },
+    /// Primary → standby state checkpoint on the replication topic.
+    /// Doubles as the primary's liveness signal: a standby that misses
+    /// enough consecutive checkpoints promotes itself.
+    Checkpoint {
+        /// The sender's fencing epoch.
+        epoch: u64,
+        /// Next command id the sender would assign. The standby adopts
+        /// the maximum it has seen so a post-promotion command can
+        /// never collide with an id the device dedup window remembers.
+        next_command_id: u64,
+        /// Whether the sender is in degraded mode.
+        degraded: bool,
+        /// Whether the sender has an unconfirmed stop outstanding.
+        stop_unconfirmed: bool,
+        /// Command ids still awaiting their acks at the sender.
+        inflight_ids: Vec<u64>,
+        /// Last data arrival per associated endpoint (freshness view).
+        last_data: Vec<(EndpointId, SimTime)>,
     },
 }
 
@@ -137,7 +168,7 @@ mod tests {
         let m = IceMsg::Net(NetOp::Send {
             from: ep,
             to: NetAddress::Topic(Topic::new("vitals/spo2")),
-            payload: NetPayload::Command { id: 7, command: IceCommand::StopPump },
+            payload: NetPayload::Command { id: 7, epoch: 1, command: IceCommand::StopPump },
         });
         let json = serde_json::to_string(&m).unwrap();
         let back: IceMsg = serde_json::from_str(&json).unwrap();

@@ -156,6 +156,20 @@ pub mod topics {
             Topic::new(format!("{scope}/vitals/{kind}"))
         }
     }
+
+    /// Primary → standby supervisor state replication (unscoped).
+    pub fn replication() -> Topic {
+        replication_scoped("")
+    }
+
+    /// Supervisor state replication within a scope.
+    pub fn replication_scoped(scope: &str) -> Topic {
+        if scope.is_empty() {
+            Topic::new("ice/replication")
+        } else {
+            Topic::new(format!("{scope}/ice/replication"))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -265,7 +279,11 @@ mod tests {
             IceMsg::Net(NetOp::Send {
                 from: dev,
                 to: NetAddress::Endpoint(ghost),
-                payload: NetPayload::Command { id: 1, command: crate::msg::IceCommand::StopPump },
+                payload: NetPayload::Command {
+                    id: 1,
+                    epoch: 1,
+                    command: crate::msg::IceCommand::StopPump,
+                },
             }),
         );
         sim.run();

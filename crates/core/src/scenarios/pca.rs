@@ -9,10 +9,10 @@
 //! QoS sweep) and E8 (fault injection).
 
 use mcps_control::interlock::InterlockConfig;
-use mcps_device::faults::FaultPlan;
+use mcps_device::faults::{FaultKind, FaultPlan};
 use mcps_device::monitor::{capnograph, pulse_oximeter};
 use mcps_device::pump::{PcaPump, PcaPumpConfig};
-use mcps_net::fabric::Fabric;
+use mcps_net::fabric::{EndpointId, Fabric};
 use mcps_net::qos::{LinkQos, OutagePlan};
 use mcps_patient::patient::{PatientOutcome, PatientParams, VirtualPatient};
 use mcps_patient::vitals::VitalKind;
@@ -22,12 +22,12 @@ use mcps_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-use crate::actors::{MonitorActor, PumpActor};
+use crate::actors::{MonitorActor, PumpActor, LOCAL_FAILSAFE_DEADLINE};
 use crate::apps::PcaSafetyApp;
 use crate::body::{PatientActor, PatientBody};
 use crate::msg::IceMsg;
 use crate::netctl::{topics, NetworkController};
-use crate::supervisor::Supervisor;
+use crate::supervisor::{Supervisor, SupervisorRole};
 
 /// Complete configuration of one PCA scenario run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -62,6 +62,18 @@ pub struct PcaScenarioConfig {
     /// its periodic announcements let it take over if the primary is
     /// disassociated (hot-swap).
     pub backup_oximeter: bool,
+    /// If `true`, a warm standby supervisor shadows the primary: it
+    /// consumes the same vitals, receives periodic state checkpoints
+    /// over the replication topic, and promotes itself (with a fencing
+    /// epoch) on checkpoint silence. Ignored in the open-loop arm.
+    pub standby_supervisor: bool,
+    /// Fault plan of the supervision layer itself.
+    /// [`FaultKind::SupervisorCrash`] (and `Crash`) windows hit the
+    /// *primary* supervisor; [`FaultKind::Partition`] windows split the
+    /// fabric into two endpoint-bitmask groups (bit order = endpoint
+    /// creation order: 0 oximeter, 1 capnograph, 2 pump, 3 supervisor,
+    /// 4 standby supervisor, 5 backup oximeter).
+    pub supervisor_fault: FaultPlan,
     /// Ground-truth timeline sampling period in seconds (0 = off).
     pub timeline_every_secs: u64,
 }
@@ -83,6 +95,8 @@ impl PcaScenarioConfig {
             capnograph_fault: FaultPlan::none(),
             pump_fault: FaultPlan::none(),
             backup_oximeter: false,
+            standby_supervisor: false,
+            supervisor_fault: FaultPlan::none(),
             timeline_every_secs: 0,
         }
     }
@@ -127,11 +141,31 @@ pub struct PcaScenarioOutcome {
     pub commands_retried: u64,
     /// App commands the supervisor suppressed while degraded.
     pub commands_suppressed: u64,
-    /// Degraded-mode windows `(entered_secs, exited_secs)`; an open
-    /// window has `None` as its exit.
+    /// Degraded-mode windows `(entered_secs, exited_secs)`; a window
+    /// still open when the run ends is closed at the run's end instant,
+    /// so every window contributes its full dwell time to accounting.
     pub degraded_windows_secs: Vec<(f64, Option<f64>)>,
     /// Times the ack watchdog escalated a lost stop command.
     pub watchdog_escalations: u32,
+    /// Standby → primary promotions performed by the supervisor pair.
+    pub failovers: u32,
+    /// Highest fencing epoch reached by either supervisor (1 = the
+    /// configured primary never lost control).
+    pub supervisor_epoch: u64,
+    /// Primary → standby demotions (split-brain resolutions after a
+    /// partition heals).
+    pub supervisor_stepdowns: u32,
+    /// Times the pump's device-local fail-safe watchdog latched
+    /// (supervision silence ≥ its deadline → basal-only safe state).
+    pub local_failsafe_entries: u64,
+    /// Transitions of the pump's local fail-safe latch:
+    /// `(seconds, latched)`, oldest first.
+    pub failsafe_transitions_secs: Vec<(f64, bool)>,
+    /// Stale-epoch commands the pump rejected via the epoch fence.
+    pub fenced_commands: u64,
+    /// Same-epoch commands the pump observed from two different
+    /// controllers — any value above 0 is a split-brain actuation.
+    pub double_actuations: u64,
     /// Tickets granted (ticket strategy).
     pub grants_issued: u64,
     /// Network messages offered / scheduled for delivery.
@@ -190,6 +224,8 @@ pub fn run_pca_scenario(config: &PcaScenarioConfig) -> PcaScenarioOutcome {
     let ep_cap = fabric.add_endpoint("capnograph");
     let ep_pump = fabric.add_endpoint("pump");
     let ep_sup = fabric.add_endpoint("supervisor");
+    let ep_standby = (config.interlock.is_some() && config.standby_supervisor)
+        .then(|| fabric.add_endpoint("supervisor-standby"));
     let ep_ox2 = config.backup_oximeter.then(|| fabric.add_endpoint("oximeter-backup"));
     if !config.outages.is_empty() {
         let mut plan = OutagePlan::none();
@@ -197,6 +233,7 @@ pub fn run_pca_scenario(config: &PcaScenarioConfig) -> PcaScenarioOutcome {
             plan = plan.with_outage(a, b);
         }
         let mut eps = vec![ep_ox, ep_cap, ep_pump, ep_sup];
+        eps.extend(ep_standby);
         eps.extend(ep_ox2);
         for &from in &eps {
             for &to in &eps {
@@ -206,19 +243,55 @@ pub fn run_pca_scenario(config: &PcaScenarioConfig) -> PcaScenarioOutcome {
             }
         }
     }
+    // Partition faults translate into bidirectional link outages on
+    // every cross-group pair; bit positions index endpoint creation
+    // order (see `supervisor_fault` docs). Links within a group — and
+    // to endpoints in neither mask — stay up.
+    let indexed_eps: Vec<Option<EndpointId>> =
+        vec![Some(ep_ox), Some(ep_cap), Some(ep_pump), Some(ep_sup), ep_standby, ep_ox2];
+    for f in config.supervisor_fault.faults() {
+        if let FaultKind::Partition { group_a, group_b } = f.kind {
+            let pick = |mask: u8| -> Vec<EndpointId> {
+                indexed_eps
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| mask & (1u8 << i) != 0)
+                    .filter_map(|(_, ep)| *ep)
+                    .collect()
+            };
+            fabric.partition(&pick(group_a), &pick(group_b), f.at, f.until.unwrap_or(SimTime::MAX));
+        }
+    }
     fabric.subscribe(ep_sup, topics::announce());
     for kind in VitalKind::ALL {
         fabric.subscribe(ep_sup, topics::vitals(kind));
+    }
+    if let Some(eps) = ep_standby {
+        fabric.subscribe(eps, topics::announce());
+        for kind in VitalKind::ALL {
+            fabric.subscribe(eps, topics::vitals(kind));
+        }
+        // Checkpoints flow primary → standby in steady state, and the
+        // (healed) ex-primary hears the promoted standby's checkpoints
+        // on the same topic — that is what forces its stepdown.
+        fabric.subscribe(eps, topics::replication());
+        fabric.subscribe(ep_sup, topics::replication());
     }
 
     // --- actors ----------------------------------------------------------
     let nc_id = sim.add_actor("netctl", NetworkController::new(fabric));
     let body = PatientBody::new(VirtualPatient::new(config.patient));
-    let pump_id = sim.add_actor(
-        "pump",
-        PumpActor::new(PcaPump::new(config.pump), body.clone(), nc_id, ep_pump)
-            .with_faults(config.pump_fault.clone()),
-    );
+    let pump_id = {
+        let mut actor = PumpActor::new(PcaPump::new(config.pump), body.clone(), nc_id, ep_pump)
+            .with_faults(config.pump_fault.clone());
+        if config.interlock.is_some() {
+            // Supervised pumps run the local fail-safe watchdog; the
+            // open-loop arm has no supervisor to heartbeat it, so the
+            // watchdog would just permanently latch.
+            actor = actor.with_supervision(LOCAL_FAILSAFE_DEADLINE);
+        }
+        sim.add_actor("pump", actor)
+    };
     let ox_id = sim.add_actor(
         "oximeter",
         MonitorActor::new(
@@ -251,9 +324,21 @@ pub fn run_pca_scenario(config: &PcaScenarioConfig) -> PcaScenarioOutcome {
         sim.add_actor("patient", actor)
     };
     let sup_id = config.interlock.map(|il| {
+        let mut s =
+            Supervisor::new(PcaSafetyApp::new(il), nc_id, ep_sup, SimDuration::from_secs(2))
+                .with_faults(config.supervisor_fault.clone());
+        if ep_standby.is_some() {
+            s = s.with_redundancy("");
+        }
+        sim.add_actor("supervisor", s)
+    });
+    let standby_id = ep_standby.map(|ep| {
+        let il = config.interlock.expect("standby supervisor requires an interlock");
         sim.add_actor(
-            "supervisor",
-            Supervisor::new(PcaSafetyApp::new(il), nc_id, ep_sup, SimDuration::from_secs(2)),
+            "supervisor-standby",
+            Supervisor::new(PcaSafetyApp::new(il), nc_id, ep, SimDuration::from_secs(2))
+                .with_role(SupervisorRole::Standby)
+                .with_redundancy(""),
         )
     });
     {
@@ -267,6 +352,9 @@ pub fn run_pca_scenario(config: &PcaScenarioConfig) -> PcaScenarioOutcome {
         if let Some(s) = sup_id {
             nc.bind(ep_sup, s);
         }
+        if let (Some(ep), Some(id)) = (ep_standby, standby_id) {
+            nc.bind(ep, id);
+        }
     }
 
     // --- kick off and run -------------------------------------------------
@@ -278,6 +366,9 @@ pub fn run_pca_scenario(config: &PcaScenarioConfig) -> PcaScenarioOutcome {
     }
     if let Some(s) = sup_id {
         sim.schedule(SimTime::from_millis(500), s, IceMsg::Tick);
+    }
+    if let Some(s) = standby_id {
+        sim.schedule(SimTime::from_millis(600), s, IceMsg::Tick);
     }
     sim.run_until(SimTime::ZERO + config.duration);
 
@@ -294,6 +385,7 @@ pub fn run_pca_scenario(config: &PcaScenarioConfig) -> PcaScenarioOutcome {
                 .map(|t| t.saturating_since(onset).as_secs_f64())
         }
     });
+    #[derive(Default)]
     struct SupStats {
         associated: bool,
         associations_completed: u32,
@@ -304,46 +396,69 @@ pub fn run_pca_scenario(config: &PcaScenarioConfig) -> PcaScenarioOutcome {
         degraded_windows_secs: Vec<(f64, Option<f64>)>,
         watchdog_escalations: u32,
         grants_issued: u64,
+        failovers: u32,
+        epoch: u64,
+        stepdowns: u32,
+        hb_sent: u64,
+        hb_acked: u64,
+        hb_unanswered: u64,
+        hb_rtts_ms: Vec<f64>,
     }
-    let sup_stats = match sup_id {
-        Some(s) => {
-            let sup = sim.actor_as::<Supervisor>(s).expect("supervisor actor");
-            let grants =
-                sup.app_as::<PcaSafetyApp>().map(|a| a.interlock().grants_issued()).unwrap_or(0);
-            SupStats {
-                associated: sup.associated_at().is_some(),
-                associations_completed: sup.associations_completed(),
-                data_received: sup.data_received(),
-                commands_sent: sup.commands_sent(),
-                commands_retried: sup.commands_retried(),
-                commands_suppressed: sup.commands_suppressed(),
-                degraded_windows_secs: sup
-                    .degraded_log()
-                    .iter()
-                    .map(|&(a, b)| (a.as_secs_f64(), b.map(SimTime::as_secs_f64)))
-                    .collect(),
-                watchdog_escalations: sup.watchdog_escalations(),
-                grants_issued: grants,
-            }
-        }
-        None => SupStats {
-            associated: false,
-            associations_completed: 0,
-            data_received: 0,
-            commands_sent: 0,
-            commands_retried: 0,
-            commands_suppressed: 0,
-            degraded_windows_secs: Vec::new(),
-            watchdog_escalations: 0,
-            grants_issued: 0,
-        },
-    };
+    let run_end_secs = config.duration.as_secs_f64();
+    let mut sup_stats = SupStats::default();
+    // Merge both halves of a redundant pair (counters sum; the epoch is
+    // whichever supervisor got furthest). With no standby this is just
+    // the primary's figures; with no interlock it stays all-zero.
+    for id in [sup_id, standby_id].into_iter().flatten() {
+        let sup = sim.actor_as::<Supervisor>(id).expect("supervisor actor");
+        sup_stats.associated |= sup.associated_at().is_some();
+        sup_stats.associations_completed =
+            sup_stats.associations_completed.max(sup.associations_completed());
+        sup_stats.data_received += sup.data_received();
+        sup_stats.commands_sent += sup.commands_sent();
+        sup_stats.commands_retried += sup.commands_retried();
+        sup_stats.commands_suppressed += sup.commands_suppressed();
+        sup_stats.degraded_windows_secs.extend(
+            sup.degraded_log()
+                .iter()
+                // A window still open at run end is closed at the run's
+                // end instant: leaving it `None` used to make terminal
+                // degradations contribute zero dwell time to accounting.
+                .map(|&(a, b)| {
+                    (a.as_secs_f64(), Some(b.map_or(run_end_secs, SimTime::as_secs_f64)))
+                }),
+        );
+        sup_stats.watchdog_escalations += sup.watchdog_escalations();
+        sup_stats.grants_issued +=
+            sup.app_as::<PcaSafetyApp>().map(|a| a.interlock().grants_issued()).unwrap_or(0);
+        sup_stats.failovers += sup.failovers();
+        sup_stats.epoch = sup_stats.epoch.max(sup.epoch());
+        sup_stats.stepdowns += sup.stepdowns();
+        let (sent, acked, unanswered) = sup.heartbeat_counts();
+        sup_stats.hb_sent += sent;
+        sup_stats.hb_acked += acked;
+        sup_stats.hb_unanswered += unanswered;
+        sup_stats.hb_rtts_ms.extend_from_slice(sup.heartbeat_rtts_ms());
+    }
+    sup_stats.degraded_windows_secs.sort_by(|a, b| a.0.total_cmp(&b.0));
     let nc = sim.actor_as::<NetworkController>(nc_id).expect("netctl actor");
     let patient_outcome = body.outcome();
     let mut telemetry = Telemetry::new();
     telemetry.annotate("scenario", "pca");
     telemetry.annotate("seed", config.seed.to_string());
     nc.export_telemetry(&mut telemetry, "net");
+    telemetry.incr("supervisor.failovers", u64::from(sup_stats.failovers));
+    telemetry.incr("supervisor.epoch", sup_stats.epoch);
+    telemetry.incr("supervisor.stepdowns", u64::from(sup_stats.stepdowns));
+    telemetry.incr("supervisor.heartbeats_sent", sup_stats.hb_sent);
+    telemetry.incr("supervisor.heartbeats_acked", sup_stats.hb_acked);
+    telemetry.incr("supervisor.heartbeats_unanswered", sup_stats.hb_unanswered);
+    for &ms in &sup_stats.hb_rtts_ms {
+        telemetry.observe("supervisor.heartbeat_rtt_ms", ms);
+    }
+    telemetry.incr("pump.local_failsafe_entries", pump_actor.local_failsafe_entries());
+    telemetry.incr("pump.fenced_commands", pump_actor.fenced_commands());
+    telemetry.incr("pump.double_actuations", pump_actor.double_actuations());
 
     PcaScenarioOutcome {
         frac_adequate_analgesia: patient_outcome.frac_adequate_analgesia,
@@ -366,6 +481,17 @@ pub fn run_pca_scenario(config: &PcaScenarioConfig) -> PcaScenarioOutcome {
         commands_suppressed: sup_stats.commands_suppressed,
         degraded_windows_secs: sup_stats.degraded_windows_secs,
         watchdog_escalations: sup_stats.watchdog_escalations,
+        failovers: sup_stats.failovers,
+        supervisor_epoch: sup_stats.epoch,
+        supervisor_stepdowns: sup_stats.stepdowns,
+        local_failsafe_entries: pump_actor.local_failsafe_entries(),
+        failsafe_transitions_secs: pump_actor
+            .failsafe_log()
+            .iter()
+            .map(|(t, latched)| (t.as_secs_f64(), *latched))
+            .collect(),
+        fenced_commands: pump_actor.fenced_commands(),
+        double_actuations: pump_actor.double_actuations(),
         grants_issued: sup_stats.grants_issued,
         net_sent: nc.sent(),
         net_delivered: nc.delivered(),
@@ -474,5 +600,46 @@ mod tests {
         // must be bounded by what was possible before the outage + one
         // ticket validity.
         assert!(out.patient.observed_secs > 0.0);
+    }
+
+    /// Regression: a degraded window still open when the run ended was
+    /// reported with `None` as its exit, so terminal degradations
+    /// contributed zero dwell time to any duration accounting built on
+    /// `degraded_windows_secs`. Finalize must close it at run end.
+    #[test]
+    fn degraded_window_open_at_run_end_is_closed_at_finalize() {
+        let cohort = CohortGenerator::new(4, CohortConfig::default());
+        let mut cfg = PcaScenarioConfig::baseline(6, cohort.params(2));
+        cfg.duration = SimDuration::from_mins(30);
+        // Network dies at minute 10 and never heals: the supervisor
+        // degrades on sensor silence and is still degraded at run end.
+        cfg.outages = vec![(SimTime::from_mins(10), SimTime::from_mins(30))];
+        let out = run_pca_scenario(&cfg);
+        let last = out.degraded_windows_secs.last().expect("a permanent outage must degrade");
+        let exit = last.1.expect("the open window must be closed at finalize");
+        assert!((exit - 1800.0).abs() < 1e-9, "closed at the run-end instant, got {exit}");
+        assert!(last.0 < exit);
+    }
+
+    /// A healthy redundant pair changes nothing: no failover, epoch
+    /// stays 1, and the heartbeat stream keeps the pump's local
+    /// fail-safe watchdog from ever latching.
+    #[test]
+    fn redundant_pair_is_quiescent_without_faults() {
+        let cohort = CohortGenerator::new(1, CohortConfig::default());
+        let mut cfg = PcaScenarioConfig::baseline(1, cohort.params(0));
+        short(&mut cfg);
+        cfg.standby_supervisor = true;
+        let out = run_pca_scenario(&cfg);
+        assert!(out.associated);
+        assert_eq!(out.failovers, 0, "standby must not promote under a healthy primary");
+        assert_eq!(out.supervisor_epoch, 1);
+        assert_eq!(out.supervisor_stepdowns, 0);
+        assert_eq!(out.double_actuations, 0);
+        assert_eq!(out.fenced_commands, 0);
+        assert_eq!(out.local_failsafe_entries, 0, "heartbeats keep the pump watchdog fed");
+        assert!(out.telemetry.counter("supervisor.heartbeats_sent") > 100);
+        let rtts = out.telemetry.histogram("supervisor.heartbeat_rtt_ms");
+        assert!(rtts.is_some_and(|h| h.count() > 100), "heartbeat RTTs are exported");
     }
 }

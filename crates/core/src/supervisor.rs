@@ -29,8 +29,9 @@
 //!   associated with fresh data on every stream for a continuous
 //!   settling window, at which point the supervisor lifts its own halt.
 
+use mcps_device::faults::{FaultKind, FaultPlan};
 use mcps_device::profile::CommandKind;
-use mcps_net::fabric::EndpointId;
+use mcps_net::fabric::{EndpointId, Topic};
 use mcps_net::monitor::DeadlineTracker;
 use mcps_sim::actor::{Actor, ActorId};
 use mcps_sim::kernel::Context;
@@ -40,6 +41,7 @@ use std::collections::BTreeMap;
 use crate::app::{AppCtx, ClinicalApp};
 use crate::manager::{AssociationOutcome, DeviceManager};
 use crate::msg::{IceCommand, IceMsg, NetAddress, NetOp, NetPayload};
+use crate::netctl::topics;
 
 /// A monitoring device whose data has not arrived for this long is
 /// considered gone: its slot is vacated so a replacement can associate
@@ -60,6 +62,37 @@ const DEGRADED_EXIT_HYSTERESIS: SimDuration = SimDuration::from_secs(15);
 /// Data younger than this counts as "fresh" for the degraded-mode exit
 /// check (streams publish at ~1 Hz; this tolerates jitter and loss).
 const EXIT_FRESHNESS: SimDuration = SimDuration::from_secs(5);
+
+/// How often an active supervisor heartbeats every stop-capable device.
+/// Three missed beats fit inside the pump's 15 s local fail-safe
+/// deadline, so a healthy but lossy channel does not trip the latch.
+pub const HEARTBEAT_PERIOD: SimDuration = SimDuration::from_secs(5);
+
+/// How often a redundant primary replicates its state to the standby.
+const CHECKPOINT_PERIOD: SimDuration = SimDuration::from_secs(2);
+
+/// Consecutive missed checkpoints before a standby declares the primary
+/// dead and promotes itself (5 × 2 s = a 10 s failover trigger, inside
+/// the pump's 15 s watchdog so a clean failover never latches it).
+const MISSED_CHECKPOINT_LIMIT: u64 = 5;
+
+/// A heartbeat-ack gap at least this long means the device's local
+/// fail-safe watchdog (same deadline) has latched in the meantime; the
+/// supervisor owes it an explicit `ResumePump` once supervision is
+/// re-established and the system is not otherwise degraded. Mirrors
+/// `LOCAL_FAILSAFE_DEADLINE` in the actor layer.
+const FAILSAFE_RELEASE_GAP: SimDuration = SimDuration::from_secs(15);
+
+/// Role of a supervisor in a redundant pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisorRole {
+    /// Owns the command channel: drives the app's commands, heartbeats
+    /// devices, and (when redundancy is enabled) replicates state.
+    Primary,
+    /// Consumes the same vitals and the primary's checkpoints to stay
+    /// warm, sends nothing, and promotes itself on checkpoint silence.
+    Standby,
+}
 
 /// An outstanding command awaiting its ack.
 #[derive(Debug, Clone, Copy)]
@@ -127,6 +160,43 @@ pub struct Supervisor {
     stop_unconfirmed: bool,
     /// Times the ack watchdog escalated a lost stop to degraded mode.
     watchdog_escalations: u32,
+    /// Role in a redundant pair; standbys send nothing until promoted.
+    role: SupervisorRole,
+    /// Fencing epoch stamped into every outgoing command. Primaries
+    /// start at 1, standbys at 0; each promotion takes max-seen + 1.
+    epoch: u64,
+    /// Replication topic when redundancy is enabled (`None` = solo
+    /// supervisor, no checkpoints published or expected).
+    replication: Option<Topic>,
+    /// The supervisor's own fault schedule (`SupervisorCrash` windows).
+    fault: FaultPlan,
+    next_heartbeat: Option<SimTime>,
+    next_checkpoint: Option<SimTime>,
+    /// Standby: last checkpoint arrival, seeded at the first tick so a
+    /// standby powered on before its primary does not promote at once.
+    last_ckpt: Option<SimTime>,
+    /// Highest epoch observed in checkpoints (standby promotion fences
+    /// the old primary by exceeding this).
+    max_epoch_seen: u64,
+    /// Degraded latch replicated from the most recent checkpoint,
+    /// adopted at promotion.
+    ckpt_degraded: bool,
+    ckpt_stop_unconfirmed: bool,
+    /// Inflight command ids replicated from the most recent checkpoint.
+    ckpt_inflight_ids: Vec<u64>,
+    /// Standby → primary promotions performed by this supervisor.
+    failovers: u32,
+    /// Primary → standby demotions (a higher-epoch peer exists).
+    stepdowns: u32,
+    /// Commands the app asked for while this supervisor was standby.
+    standby_suppressed: u64,
+    hb_sent: u64,
+    hb_acked: u64,
+    hb_unanswered: u64,
+    /// Heartbeat round-trips, milliseconds, in completion order.
+    hb_rtt_ms: Vec<f64>,
+    /// Last heartbeat-ack instant per endpoint, for fail-safe release.
+    hb_last_acked: BTreeMap<EndpointId, SimTime>,
 }
 
 impl std::fmt::Debug for Supervisor {
@@ -176,7 +246,56 @@ impl Supervisor {
             degrade_stop_sent: false,
             stop_unconfirmed: false,
             watchdog_escalations: 0,
+            role: SupervisorRole::Primary,
+            epoch: 1,
+            replication: None,
+            fault: FaultPlan::none(),
+            next_heartbeat: None,
+            next_checkpoint: None,
+            last_ckpt: None,
+            max_epoch_seen: 0,
+            ckpt_degraded: false,
+            ckpt_stop_unconfirmed: false,
+            ckpt_inflight_ids: Vec::new(),
+            failovers: 0,
+            stepdowns: 0,
+            standby_suppressed: 0,
+            hb_sent: 0,
+            hb_acked: 0,
+            hb_unanswered: 0,
+            hb_rtt_ms: Vec::new(),
+            hb_last_acked: BTreeMap::new(),
         }
+    }
+
+    /// Sets the role in a redundant pair. A standby starts at epoch 0
+    /// but already knows the configured primary runs epoch 1, so its
+    /// eventual promotion fences the primary even if it died before
+    /// replicating a single checkpoint.
+    pub fn with_role(mut self, role: SupervisorRole) -> Self {
+        self.role = role;
+        if role == SupervisorRole::Standby {
+            self.epoch = 0;
+            self.max_epoch_seen = 1;
+        }
+        self
+    }
+
+    /// Enables primary/standby redundancy under `scope`: primaries
+    /// publish periodic state checkpoints on the scope's replication
+    /// topic; standbys treat checkpoint silence as primary death.
+    pub fn with_redundancy(mut self, scope: &str) -> Self {
+        self.replication = Some(topics::replication_scoped(scope));
+        self
+    }
+
+    /// Attaches the supervisor's own fault schedule. While a
+    /// [`FaultKind::SupervisorCrash`] (or `Crash`) window is active the
+    /// supervisor processes nothing — no commands, no heartbeats, no
+    /// checkpoints — but recovers when the window closes.
+    pub fn with_faults(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
     }
 
     /// The device manager (association state).
@@ -245,12 +364,60 @@ impl Supervisor {
         self.watchdog_escalations
     }
 
+    /// Current role (a standby flips to primary at promotion).
+    pub fn role(&self) -> SupervisorRole {
+        self.role
+    }
+
+    /// Current fencing epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Standby → primary promotions performed.
+    pub fn failovers(&self) -> u32 {
+        self.failovers
+    }
+
+    /// Primary → standby demotions (split-brain resolution).
+    pub fn stepdowns(&self) -> u32 {
+        self.stepdowns
+    }
+
+    /// App commands dropped because this supervisor was standby.
+    pub fn standby_suppressed(&self) -> u64 {
+        self.standby_suppressed
+    }
+
+    /// Heartbeats sent / acknowledged / given up on.
+    pub fn heartbeat_counts(&self) -> (u64, u64, u64) {
+        (self.hb_sent, self.hb_acked, self.hb_unanswered)
+    }
+
+    /// Heartbeat round-trip times, milliseconds, in completion order.
+    pub fn heartbeat_rtts_ms(&self) -> &[f64] {
+        &self.hb_rtt_ms
+    }
+
+    /// Command ids the peer reported inflight in its last checkpoint.
+    pub fn replicated_inflight_ids(&self) -> &[u64] {
+        &self.ckpt_inflight_ids
+    }
+
     /// Typed access to the hosted app's concrete state.
     pub fn app_as<T: 'static>(&self) -> Option<&T> {
         self.app.as_any().downcast_ref::<T>()
     }
 
     fn send_command(&mut self, ctx: &mut Context<'_, IceMsg>, ep: EndpointId, command: IceCommand) {
+        // A standby owns no part of the command channel: everything its
+        // (warm) app or degrade paths would send is suppressed until
+        // promotion. Devices would fence a stale epoch anyway; this
+        // keeps the wire quiet and the counter honest.
+        if self.role == SupervisorRole::Standby {
+            self.standby_suppressed += 1;
+            return;
+        }
         self.commands_sent += 1;
         let id = self.next_command_id;
         self.next_command_id += 1;
@@ -271,9 +438,118 @@ impl Supervisor {
             IceMsg::Net(NetOp::Send {
                 from: self.endpoint,
                 to: NetAddress::Endpoint(ep),
-                payload: NetPayload::Command { id, command },
+                payload: NetPayload::Command { id, epoch: self.epoch, command },
             }),
         );
+    }
+
+    /// Sends one supervision heartbeat to `ep`. Heartbeats ride the
+    /// normal command channel (id-paired acks, same inflight table) but
+    /// are never retried — the next period is the retry — and an
+    /// expired one counts against the heartbeat statistics, not the
+    /// command RTT deadline figures.
+    fn send_heartbeat(&mut self, ctx: &mut Context<'_, IceMsg>, ep: EndpointId) {
+        self.hb_sent += 1;
+        let id = self.next_command_id;
+        self.next_command_id += 1;
+        self.inflight.insert(
+            id,
+            InflightCommand {
+                command: IceCommand::Heartbeat,
+                endpoint: ep,
+                first_sent_at: ctx.now(),
+                sent_at: ctx.now(),
+                attempts: 1,
+                retryable: false,
+            },
+        );
+        ctx.send(
+            self.netctl,
+            IceMsg::Net(NetOp::Send {
+                from: self.endpoint,
+                to: NetAddress::Endpoint(ep),
+                payload: NetPayload::Command {
+                    id,
+                    epoch: self.epoch,
+                    command: IceCommand::Heartbeat,
+                },
+            }),
+        );
+    }
+
+    /// Publishes a state checkpoint on the replication topic so the
+    /// standby can take over mid-story: the command-id high-water mark,
+    /// the degraded latch, outstanding command ids, and per-endpoint
+    /// data freshness.
+    fn publish_checkpoint(&mut self, ctx: &mut Context<'_, IceMsg>) {
+        let Some(topic) = self.replication.clone() else { return };
+        let payload = NetPayload::Checkpoint {
+            epoch: self.epoch,
+            next_command_id: self.next_command_id,
+            degraded: self.degraded,
+            stop_unconfirmed: self.stop_unconfirmed,
+            inflight_ids: self.inflight.keys().copied().collect(),
+            last_data: self.last_data.iter().map(|(&ep, &t)| (ep, t)).collect(),
+        };
+        ctx.send(
+            self.netctl,
+            IceMsg::Net(NetOp::Send { from: self.endpoint, to: NetAddress::Topic(topic), payload }),
+        );
+    }
+
+    /// Standby → primary promotion after checkpoint silence. The new
+    /// epoch exceeds everything the old primary ever stamped, so its
+    /// stale commands are fenced at every device; the replicated
+    /// degraded latch is adopted so a failover cannot silently forget
+    /// an active alarm.
+    fn promote(&mut self, ctx: &mut Context<'_, IceMsg>) {
+        self.role = SupervisorRole::Primary;
+        self.epoch = self.max_epoch_seen.max(self.epoch) + 1;
+        self.max_epoch_seen = self.epoch;
+        self.failovers += 1;
+        ctx.trace("failover", format!("standby promoted to primary, epoch {}", self.epoch));
+        self.stop_unconfirmed = self.ckpt_stop_unconfirmed;
+        if self.ckpt_degraded {
+            self.enter_degraded(ctx, "inherited-degraded");
+        }
+        // Re-establish supervision immediately: devices near their
+        // local fail-safe deadline get a fresh heartbeat now rather
+        // than at the next period boundary.
+        for ep in self.stop_capable_endpoints() {
+            self.send_heartbeat(ctx, ep);
+        }
+        let now = ctx.now();
+        self.next_heartbeat = Some(now + HEARTBEAT_PERIOD);
+        self.next_checkpoint = Some(now);
+        self.drive_app(ctx, |app, actx| app.on_tick(actx));
+    }
+
+    /// Primary → standby demotion on proof of a higher-epoch peer (a
+    /// checkpoint it could only have published after promoting). The
+    /// ex-primary abandons every open concern — the new primary owns
+    /// them now — including an open degraded window, which a standby
+    /// could never close because it cannot send the exit's resumes.
+    fn step_down(&mut self, ctx: &mut Context<'_, IceMsg>, seen_epoch: u64) {
+        self.stepdowns += 1;
+        self.role = SupervisorRole::Standby;
+        self.max_epoch_seen = seen_epoch;
+        self.last_ckpt = Some(ctx.now());
+        self.inflight.clear();
+        self.next_heartbeat = None;
+        self.next_checkpoint = None;
+        if self.degraded {
+            if let Some(last) = self.degraded_log.last_mut() {
+                if last.1.is_none() {
+                    last.1 = Some(ctx.now());
+                }
+            }
+        }
+        self.degraded = false;
+        self.alarm = None;
+        self.healthy_since = None;
+        self.degrade_stop_sent = false;
+        self.stop_unconfirmed = false;
+        ctx.trace("failover", format!("primary stepped down; peer at epoch {seen_epoch}"));
     }
 
     /// Vacates slots of monitoring devices that have gone silent, so a
@@ -349,12 +625,19 @@ impl Supervisor {
                 IceMsg::Net(NetOp::Send {
                     from: self.endpoint,
                     to: NetAddress::Endpoint(ep),
-                    payload: NetPayload::Command { id, command },
+                    payload: NetPayload::Command { id, epoch: self.epoch, command },
                 }),
             );
         }
         for id in expired {
             let e = self.inflight.remove(&id).expect("expired id is inflight");
+            if matches!(e.command, IceCommand::Heartbeat) {
+                // A dead heartbeat is a supervision gap, not a command
+                // latency outlier: it counts against the heartbeat
+                // figures and the next period retries implicitly.
+                self.hb_unanswered += 1;
+                continue;
+            }
             self.rtt.record_unanswered();
             ctx.trace("app", format!("command id {id} unanswered; giving up"));
             if e.retryable && matches!(e.command, IceCommand::StopPump) {
@@ -485,12 +768,56 @@ impl Supervisor {
 
 impl Actor<IceMsg> for Supervisor {
     fn handle(&mut self, msg: IceMsg, ctx: &mut Context<'_, IceMsg>) {
+        // A crashed supervisor processes nothing — announcements, data,
+        // acks, and checkpoints all fall on the floor — but the tick
+        // keeps rescheduling so a transient crash window recovers.
+        if matches!(
+            self.fault.active(ctx.now()),
+            Some(FaultKind::SupervisorCrash | FaultKind::Crash)
+        ) {
+            if matches!(msg, IceMsg::Tick) {
+                ctx.schedule_self(self.step, IceMsg::Tick);
+            }
+            return;
+        }
         match msg {
             IceMsg::Tick => {
+                let now = ctx.now();
+                if self.role == SupervisorRole::Standby {
+                    // A standby only watches the checkpoint stream. The
+                    // silence clock is seeded at the first tick so a
+                    // standby powered on before its primary does not
+                    // promote instantly.
+                    if self.replication.is_some() {
+                        let last = *self.last_ckpt.get_or_insert(now);
+                        if now.saturating_since(last) > CHECKPOINT_PERIOD * MISSED_CHECKPOINT_LIMIT
+                        {
+                            self.promote(ctx);
+                        }
+                    }
+                    ctx.schedule_self(self.step, IceMsg::Tick);
+                    return;
+                }
                 self.check_device_liveness(ctx);
                 self.check_inflight(ctx);
                 self.check_degraded_exit(ctx);
                 self.drive_app(ctx, |app, actx| app.on_tick(actx));
+                // Supervision heartbeats to every stop-capable device
+                // keep the devices' local fail-safe watchdogs fed.
+                let due_hb = *self.next_heartbeat.get_or_insert(now);
+                if now >= due_hb {
+                    for ep in self.stop_capable_endpoints() {
+                        self.send_heartbeat(ctx, ep);
+                    }
+                    self.next_heartbeat = Some(now + HEARTBEAT_PERIOD);
+                }
+                if self.replication.is_some() {
+                    let due_ckpt = *self.next_checkpoint.get_or_insert(now);
+                    if now >= due_ckpt {
+                        self.publish_checkpoint(ctx);
+                        self.next_checkpoint = Some(now + CHECKPOINT_PERIOD);
+                    }
+                }
                 ctx.schedule_self(self.step, IceMsg::Tick);
             }
             IceMsg::Net(NetOp::Deliver { from, payload }) => match payload {
@@ -523,6 +850,32 @@ impl Actor<IceMsg> for Supervisor {
                     self.drive_app(ctx, |app, actx| app.on_data(actx, kind, value, sampled_at));
                 }
                 NetPayload::Ack { id, command, applied_at } => {
+                    if matches!(command, IceCommand::Heartbeat) {
+                        let now = ctx.now();
+                        if let Some(e) = self.inflight.remove(&id) {
+                            self.hb_acked += 1;
+                            let rtt = now.saturating_since(e.first_sent_at);
+                            self.hb_rtt_ms.push(rtt.as_secs_f64() * 1000.0);
+                        }
+                        // A supervision gap at least as long as the
+                        // device's local fail-safe deadline means its
+                        // watchdog latched while we (or a dead
+                        // predecessor) were away: release it, unless
+                        // the system is degraded and the latch is
+                        // exactly what we want.
+                        let prev = self.hb_last_acked.insert(from, now);
+                        let gap = prev.map(|t| now.saturating_since(t));
+                        if gap.is_none_or(|g| g >= FAILSAFE_RELEASE_GAP) && !self.degraded {
+                            // `prev == None` covers a freshly promoted
+                            // standby: it has no ack history, but the
+                            // old primary's silence may well have
+                            // latched the device.
+                            if self.failovers > 0 || gap.is_some() {
+                                self.send_command(ctx, from, IceCommand::ResumePump);
+                            }
+                        }
+                        return;
+                    }
                     if let Some(e) = self.inflight.remove(&id) {
                         self.rtt.record(ctx.now().saturating_since(e.first_sent_at));
                         if matches!(e.command, IceCommand::StopPump) {
@@ -532,6 +885,37 @@ impl Actor<IceMsg> for Supervisor {
                         }
                     }
                     self.drive_app(ctx, |app, actx| app.on_ack(actx, command, applied_at));
+                }
+                NetPayload::Checkpoint {
+                    epoch,
+                    next_command_id,
+                    degraded,
+                    stop_unconfirmed,
+                    inflight_ids,
+                    last_data,
+                } => {
+                    if epoch > self.epoch && self.role == SupervisorRole::Primary {
+                        // Someone with a higher epoch is alive and
+                        // publishing: we are the stale half of a healed
+                        // partition. Yield.
+                        self.step_down(ctx, epoch);
+                        return;
+                    }
+                    if self.role != SupervisorRole::Standby || epoch < self.max_epoch_seen {
+                        return;
+                    }
+                    self.max_epoch_seen = epoch;
+                    self.last_ckpt = Some(ctx.now());
+                    // The id high-water mark only ratchets up: device
+                    // dedup windows never see a reused (epoch, id).
+                    self.next_command_id = self.next_command_id.max(next_command_id);
+                    self.ckpt_degraded = degraded;
+                    self.ckpt_stop_unconfirmed = stop_unconfirmed;
+                    self.ckpt_inflight_ids = inflight_ids;
+                    for (ep, t) in last_data {
+                        let e = self.last_data.entry(ep).or_insert(t);
+                        *e = (*e).max(t);
+                    }
                 }
                 NetPayload::Command { .. } => {
                     // Supervisors do not accept commands.
@@ -771,8 +1155,14 @@ mod tests {
         let s = sim.actor_as::<Supervisor>(sup).unwrap();
         assert_eq!(s.commands_sent(), 1);
         assert_eq!(s.commands_retried(), 0, "ticket grants are never retried");
-        assert!(s.inflight.is_empty(), "expired entries must be removed");
-        assert_eq!(s.rtt().unanswered(), 1);
+        assert!(
+            s.inflight.values().all(|e| matches!(e.command, IceCommand::Heartbeat)),
+            "expired command entries must be removed (only live heartbeats may remain)"
+        );
+        assert_eq!(s.rtt().unanswered(), 1, "dead heartbeats must not pollute command RTTs");
+        let (hb_sent, _, hb_unanswered) = s.heartbeat_counts();
+        assert!(hb_sent >= 2, "the pump is stop-capable, so it is heartbeated");
+        assert!(hb_unanswered >= 1, "unanswered heartbeats land in their own counter");
         assert!(!s.is_degraded(), "a lost grant is not a lost pump");
     }
 
@@ -795,7 +1185,9 @@ mod tests {
         // stops (each with its own retry cycle) as long as none is
         // confirmed. The pump never answers, so degraded mode holds.
         assert!(s.commands_retried() >= 2 * u64::from(MAX_RETRIES));
-        assert!(s.inflight.len() <= 1, "at most the current probe is outstanding");
+        let probes =
+            s.inflight.values().filter(|e| !matches!(e.command, IceCommand::Heartbeat)).count();
+        assert!(probes <= 1, "at most the current probe is outstanding");
         assert!(s.watchdog_escalations() >= 2);
         assert!(s.is_degraded(), "an unconfirmed stop must hold degraded mode");
         assert_eq!(s.alarm(), Some("stop-ack-lost"));
@@ -862,5 +1254,196 @@ mod tests {
         assert_eq!(log.len(), 1);
         assert!(log[0].1.is_some(), "the degraded window is closed");
         assert_eq!(s.associations_completed(), 2, "recovery counted as a hot-swap");
+    }
+
+    fn setup_standby(
+        app: impl ClinicalApp,
+    ) -> (Simulation<IceMsg>, ActorId, EndpointId, EndpointId) {
+        let mut fabric = Fabric::new();
+        fabric.set_default_qos(LinkQos::ideal());
+        let dev = fabric.add_endpoint("dev");
+        let standby_ep = fabric.add_endpoint("standby");
+        let mut sim: Simulation<IceMsg> = Simulation::new(4);
+        let nc = sim.add_actor("netctl", NetworkController::new(fabric));
+        let sup = sim.add_actor(
+            "standby",
+            Supervisor::new(app, nc, standby_ep, SimDuration::from_secs(2))
+                .with_role(SupervisorRole::Standby)
+                .with_redundancy(""),
+        );
+        (sim, sup, dev, standby_ep)
+    }
+
+    /// A standby that stops hearing checkpoints promotes itself with an
+    /// epoch that fences the old primary, and adopts the replicated
+    /// degraded latch so failover cannot forget an active alarm.
+    #[test]
+    fn standby_promotes_on_checkpoint_silence_and_inherits_degraded() {
+        let (mut sim, sup, primary_ep, _) = setup_standby(Probe::default());
+        deliver(
+            &mut sim,
+            sup,
+            primary_ep,
+            NetPayload::Checkpoint {
+                epoch: 1,
+                next_command_id: 7,
+                degraded: true,
+                stop_unconfirmed: false,
+                inflight_ids: vec![5, 6],
+                last_data: Vec::new(),
+            },
+        );
+        {
+            let s = sim.actor_as::<Supervisor>(sup).unwrap();
+            assert_eq!(s.role(), SupervisorRole::Standby);
+            assert_eq!(s.replicated_inflight_ids(), &[5, 6]);
+            assert_eq!(s.failovers(), 0);
+        }
+        // The primary now falls silent: after MISSED_CHECKPOINT_LIMIT
+        // periods without a checkpoint the standby takes over.
+        sim.schedule(sim.now(), sup, IceMsg::Tick);
+        sim.run_until(sim.now() + SimDuration::from_secs(20));
+        let s = sim.actor_as::<Supervisor>(sup).unwrap();
+        assert_eq!(s.role(), SupervisorRole::Primary);
+        assert_eq!(s.failovers(), 1);
+        assert_eq!(s.epoch(), 2, "promotion epoch exceeds everything the primary stamped");
+        assert!(s.is_degraded(), "a replicated degraded latch survives failover");
+        assert_eq!(s.alarm(), Some("inherited-degraded"));
+        assert!(s.next_command_id >= 7, "the id high-water mark is adopted");
+    }
+
+    /// A standby that never saw a single checkpoint (primary died
+    /// before replicating) still promotes past the configured primary
+    /// epoch: the fence holds even for an instant primary death.
+    #[test]
+    fn standby_promotes_past_epoch_one_without_any_checkpoint() {
+        let (mut sim, sup, _, _) = setup_standby(Probe::default());
+        sim.schedule(SimTime::ZERO, sup, IceMsg::Tick);
+        sim.run_until(SimTime::from_secs(20));
+        let s = sim.actor_as::<Supervisor>(sup).unwrap();
+        assert_eq!(s.role(), SupervisorRole::Primary);
+        assert!(s.epoch() >= 2, "a promoted standby must outrank the epoch-1 primary");
+    }
+
+    /// A primary that sees a higher-epoch checkpoint is the stale half
+    /// of a healed partition: it steps down, abandoning its inflight
+    /// commands and closing any open degraded window (a standby cannot
+    /// run the degraded exit, so leaving it open would leak forever).
+    #[test]
+    fn primary_steps_down_and_closes_degraded_window_on_higher_epoch() {
+        let (mut sim, sup, dev, _) = setup();
+        deliver(
+            &mut sim,
+            sup,
+            dev,
+            NetPayload::Announce { profile: monitor_profile(), endpoint: dev },
+        );
+        sim.schedule(sim.now(), sup, IceMsg::Tick);
+        // 40 s of silence: vacate + degrade, window left open.
+        sim.run_until(sim.now() + SimDuration::from_secs(40));
+        assert!(sim.actor_as::<Supervisor>(sup).unwrap().is_degraded());
+        let at = sim.now() + SimDuration::from_secs(1);
+        sim.schedule(
+            at,
+            sup,
+            IceMsg::Net(NetOp::Deliver {
+                from: dev,
+                payload: NetPayload::Checkpoint {
+                    epoch: 9,
+                    next_command_id: 0,
+                    degraded: false,
+                    stop_unconfirmed: false,
+                    inflight_ids: Vec::new(),
+                    last_data: Vec::new(),
+                },
+            }),
+        );
+        sim.run_until(at + SimDuration::from_secs(2));
+        let s = sim.actor_as::<Supervisor>(sup).unwrap();
+        assert_eq!(s.role(), SupervisorRole::Standby);
+        assert_eq!(s.stepdowns(), 1);
+        assert!(!s.is_degraded(), "the higher-epoch primary owns the degraded state now");
+        assert!(s.alarm().is_none());
+        assert!(s.degraded_log().last().unwrap().1.is_some(), "open window closed at stepdown");
+        assert!(s.inflight.is_empty(), "inflight commands are abandoned at stepdown");
+    }
+
+    /// Standbys own no part of the command channel: app commands are
+    /// suppressed (counted separately from degraded suppression) and no
+    /// heartbeats are sent until promotion.
+    #[test]
+    fn standby_suppresses_app_commands_and_sends_nothing() {
+        let (mut sim, sup, dev, _) = setup_standby(OneShot::new(IceCommand::StopPump));
+        deliver(
+            &mut sim,
+            sup,
+            dev,
+            NetPayload::Announce { profile: pump_profile(), endpoint: dev },
+        );
+        sim.schedule(sim.now(), sup, IceMsg::Tick);
+        // Short of the promotion trigger, so it stays standby throughout.
+        sim.run_until(sim.now() + SimDuration::from_secs(8));
+        let s = sim.actor_as::<Supervisor>(sup).unwrap();
+        assert_eq!(s.role(), SupervisorRole::Standby);
+        assert_eq!(s.commands_sent(), 0, "standbys put nothing on the wire");
+        assert!(s.standby_suppressed() >= 1, "the app's stop was suppressed, not sent");
+        assert_eq!(s.heartbeat_counts().0, 0, "standbys do not heartbeat");
+    }
+
+    /// A heartbeat-ack gap longer than the device's local fail-safe
+    /// deadline means its watchdog latched while the supervisor was
+    /// away: the supervisor owes it a resume once contact resumes (and
+    /// the system is not otherwise degraded).
+    #[test]
+    fn heartbeat_gap_triggers_failsafe_release_resume() {
+        let (mut sim, sup, dev, _) = setup_with(OneShot::new(IceCommand::GrantTicket {
+            validity: SimDuration::from_secs(15),
+        }));
+        deliver(
+            &mut sim,
+            sup,
+            dev,
+            NetPayload::Announce { profile: pump_profile(), endpoint: dev },
+        );
+        sim.schedule(sim.now(), sup, IceMsg::Tick);
+        // First heartbeat goes out at the first tick with id 1 (the
+        // app's grant took id 0); ack it promptly.
+        let t1 = sim.now() + SimDuration::from_secs(1);
+        sim.schedule(
+            t1,
+            sup,
+            IceMsg::Net(NetOp::Deliver {
+                from: dev,
+                payload: NetPayload::Ack { id: 1, command: IceCommand::Heartbeat, applied_at: t1 },
+            }),
+        );
+        // Then 20 s of ack silence — past the fail-safe deadline — and
+        // a late heartbeat ack (its id long expired; the gap logic does
+        // not care).
+        let t2 = t1 + SimDuration::from_secs(20);
+        sim.schedule(
+            t2,
+            sup,
+            IceMsg::Net(NetOp::Deliver {
+                from: dev,
+                payload: NetPayload::Ack {
+                    id: 999,
+                    command: IceCommand::Heartbeat,
+                    applied_at: t2,
+                },
+            }),
+        );
+        sim.run_until(t2 + SimDuration::from_secs(1));
+        let s = sim.actor_as::<Supervisor>(sup).unwrap();
+        let (hb_sent, hb_acked, _) = s.heartbeat_counts();
+        assert!(hb_sent >= 4);
+        assert_eq!(hb_acked, 1, "only the inflight-matched ack counts toward RTTs");
+        assert_eq!(s.heartbeat_rtts_ms().len(), 1);
+        assert!(s.heartbeat_rtts_ms()[0] >= 999.0, "RTT measured from the heartbeat send");
+        assert_eq!(s.commands_sent(), 2, "the grant plus exactly one fail-safe release ResumePump");
+        assert!(
+            s.inflight.values().any(|e| matches!(e.command, IceCommand::ResumePump)),
+            "the release resume is on the wire"
+        );
     }
 }

@@ -20,6 +20,22 @@ use serde::{Deserialize, Serialize};
 /// `Eq` and `Hash` (campaign grids key scorecard cells by kind).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum FaultKind {
+    /// The supervisory control process dies: no commands, no heartbeats,
+    /// no checkpoints. Only meaningful on a supervisor's fault plan —
+    /// devices keep running, which is exactly the hazard (an unattended
+    /// interlock). Ranked above `Crash` because losing the controller
+    /// dominates losing any single controlled device.
+    SupervisorCrash,
+    /// The network splits into two groups that cannot reach each other
+    /// (links *within* each group stay up). Groups are endpoint-index
+    /// bitmasks over the scenario's creation order; the scenario layer
+    /// translates them into bidirectional link outages on the fabric.
+    Partition {
+        /// Bitmask of endpoint indices on side A.
+        group_a: u8,
+        /// Bitmask of endpoint indices on side B.
+        group_b: u8,
+    },
     /// The device stops responding entirely (process crash, power loss).
     Crash,
     /// The device stays up but stops publishing data (hung sensor task);
@@ -63,6 +79,8 @@ impl FaultKind {
     /// quirks.
     pub fn severity(self) -> u8 {
         match self {
+            FaultKind::SupervisorCrash => 8,
+            FaultKind::Partition { .. } => 7,
             FaultKind::Crash => 6,
             FaultKind::SilentData => 5,
             FaultKind::Intermittent { .. } => 4,
@@ -268,6 +286,8 @@ mod tests {
     #[test]
     fn severity_ordering_is_total_and_crash_dominant() {
         let kinds = [
+            FaultKind::SupervisorCrash,
+            FaultKind::Partition { group_a: 0b1000, group_b: 0b0111 },
             FaultKind::Crash,
             FaultKind::SilentData,
             FaultKind::Intermittent { period_ms: 1000, on_ms: 100 },

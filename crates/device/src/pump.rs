@@ -117,6 +117,9 @@ pub enum BolusDecision {
     Stopped,
     /// Denied: no valid permission ticket (ticket mode only).
     NoTicket,
+    /// Denied: bolus delivery is suspended by the local fail-safe
+    /// watchdog (supervision lost; basal continues).
+    Suspended,
 }
 
 /// One entry in the pump's dose log.
@@ -138,6 +141,10 @@ pub struct PcaPump {
     active_bolus: Option<(SimTime, f64)>,
     last_bolus_start: Option<SimTime>,
     ticket_expiry: Option<SimTime>,
+    /// Local fail-safe latch: bolus delivery is suspended (basal-only
+    /// safe state) until an explicit resume. Set by the device-local
+    /// watchdog when supervision is lost.
+    bolus_suspended: bool,
     dose_log: Vec<DoseEvent>,
     /// Sliding-window record of delivered increments for the hourly cap.
     window: VecDeque<(SimTime, f64)>,
@@ -170,6 +177,7 @@ impl PcaPump {
             active_bolus: None,
             last_bolus_start: None,
             ticket_expiry: None,
+            bolus_suspended: false,
             dose_log: Vec::new(),
             window: VecDeque::new(),
             window_sum: 0.0,
@@ -234,10 +242,29 @@ impl PcaPump {
     }
 
     /// Resumes after a stop. Basal resumes; an aborted bolus is *not*
-    /// restarted (the patient must demand again past lockout).
+    /// restarted (the patient must demand again past lockout). Also
+    /// clears the local fail-safe bolus suspension: resume is the
+    /// explicit post-recovery release the watchdog latch waits for.
     pub fn resume(&mut self, now: SimTime) {
         self.integrate_to(now);
         self.state = PumpState::Running;
+        self.bolus_suspended = false;
+    }
+
+    /// Enters the basal-only safe state: aborts any in-flight bolus and
+    /// latches a suspension that denies further demand boluses until
+    /// [`Self::resume`]. Basal infusion continues — abruptly cutting a
+    /// background opioid infusion is itself a hazard, while an
+    /// unsupervised *bolus* is the risk the interlock exists to gate.
+    pub fn suspend_bolus(&mut self, now: SimTime) {
+        self.integrate_to(now);
+        self.active_bolus = None;
+        self.bolus_suspended = true;
+    }
+
+    /// Whether the fail-safe bolus suspension is latched.
+    pub fn bolus_suspended(&self) -> bool {
+        self.bolus_suspended
     }
 
     /// Reprogrammes the basal rate, mg/h (clamped at 0).
@@ -252,6 +279,9 @@ impl PcaPump {
         self.integrate_to(now);
         if self.state != PumpState::Running {
             return BolusDecision::Stopped;
+        }
+        if self.bolus_suspended {
+            return BolusDecision::Suspended;
         }
         if self.config.ticket_mode && !self.is_permitted(now) {
             return BolusDecision::NoTicket;
@@ -528,6 +558,33 @@ mod tests {
     #[should_panic(expected = "invalid pump config")]
     fn invalid_config_panics() {
         let _ = PcaPump::new(PcaPumpConfig { max_hourly_mg: 0.0, ..PcaPumpConfig::default() });
+    }
+
+    #[test]
+    fn suspend_bolus_is_basal_only_and_latches_until_resume() {
+        let mut p =
+            PcaPump::new(PcaPumpConfig { basal_rate_mg_per_h: 1.0, ..PcaPumpConfig::default() });
+        assert_eq!(p.request_bolus(t(0)), BolusDecision::Started);
+        p.delivered_since_last(t(10)); // 1/3 of the bolus out
+        p.suspend_bolus(t(10));
+        assert!(p.bolus_suspended());
+        // The in-flight remainder is aborted but basal keeps flowing.
+        let d = p.delivered_since_last(t(10 + 3600));
+        assert!((d - 1.0).abs() < 1e-9, "one hour of basal only, got {d}");
+        assert_eq!(p.request_bolus(t(7200)), BolusDecision::Suspended);
+        // Only an explicit resume releases the latch.
+        p.resume(t(7200));
+        assert!(!p.bolus_suspended());
+        assert_eq!(p.request_bolus(t(7200)), BolusDecision::Started);
+    }
+
+    #[test]
+    fn suspension_outranks_ticket_check_but_not_stop() {
+        let mut p = PcaPump::new(PcaPumpConfig { ticket_mode: true, ..PcaPumpConfig::default() });
+        p.suspend_bolus(t(0));
+        assert_eq!(p.request_bolus(t(0)), BolusDecision::Suspended);
+        p.stop(t(1), StopReason::Command);
+        assert_eq!(p.request_bolus(t(2)), BolusDecision::Stopped);
     }
 
     #[test]

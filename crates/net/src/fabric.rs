@@ -403,6 +403,50 @@ impl Fabric {
         self.cfg_gen += 1;
     }
 
+    /// Appends one outage window to the directed link `from → to`,
+    /// keeping any windows already installed ([`Fabric::set_outages`]
+    /// replaces the whole plan instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `down_until` does not follow `down_from`.
+    pub fn add_outage(
+        &mut self,
+        from: EndpointId,
+        to: EndpointId,
+        down_from: SimTime,
+        down_until: SimTime,
+    ) {
+        let i = self.link_record_index(from, to);
+        let plan = std::mem::take(&mut self.links[i].outages);
+        self.links[i].outages = plan.with_outage(down_from, down_until);
+        self.cfg_gen += 1;
+    }
+
+    /// Severs every link *between* the two endpoint groups in both
+    /// directions over `[down_from, down_until)` — a network partition.
+    /// Links within each group are untouched, and the windows append to
+    /// whatever outage plans the affected links already carry. Use
+    /// [`SimTime::MAX`] as `down_until` for a partition that never
+    /// heals.
+    pub fn partition(
+        &mut self,
+        group_a: &[EndpointId],
+        group_b: &[EndpointId],
+        down_from: SimTime,
+        down_until: SimTime,
+    ) {
+        for &a in group_a {
+            for &b in group_b {
+                if a == b {
+                    continue;
+                }
+                self.add_outage(a, b, down_from, down_until);
+                self.add_outage(b, a, down_from, down_until);
+            }
+        }
+    }
+
     /// The effective QoS of `from → to`.
     pub fn link_qos(&self, from: EndpointId, to: EndpointId) -> LinkQos {
         self.link_index
@@ -793,6 +837,41 @@ mod tests {
         assert!(f.unicast(a, b, SimTime::from_secs(25), &mut r).is_some());
         let s = f.link_stats(a, b);
         assert_eq!((s.sent, s.delivered, s.dropped), (3, 2, 1));
+    }
+
+    #[test]
+    fn add_outage_appends_instead_of_replacing() {
+        let (mut f, a, b) = two_endpoint_fabric();
+        f.set_link(a, b, LinkQos::ideal());
+        f.set_outages(
+            a,
+            b,
+            OutagePlan::none().with_outage(SimTime::from_secs(10), SimTime::from_secs(20)),
+        );
+        f.add_outage(a, b, SimTime::from_secs(30), SimTime::from_secs(40));
+        let mut r = rng();
+        assert!(f.unicast(a, b, SimTime::from_secs(15), &mut r).is_none(), "first window kept");
+        assert!(f.unicast(a, b, SimTime::from_secs(25), &mut r).is_some());
+        assert!(f.unicast(a, b, SimTime::from_secs(35), &mut r).is_none(), "appended window");
+    }
+
+    #[test]
+    fn partition_severs_cross_group_links_both_ways_only() {
+        let mut f = Fabric::new();
+        f.set_default_qos(LinkQos::ideal());
+        let a1 = f.add_endpoint("a1");
+        let a2 = f.add_endpoint("a2");
+        let b1 = f.add_endpoint("b1");
+        f.partition(&[a1, a2], &[b1], SimTime::from_secs(100), SimTime::MAX);
+        let mut r = rng();
+        let now = SimTime::from_secs(150);
+        assert!(f.unicast(a1, b1, now, &mut r).is_none(), "a→b severed");
+        assert!(f.unicast(b1, a2, now, &mut r).is_none(), "b→a severed");
+        assert!(f.unicast(a1, a2, now, &mut r).is_some(), "intra-group link survives");
+        assert!(
+            f.unicast(a1, b1, SimTime::from_secs(50), &mut r).is_some(),
+            "pre-partition traffic flows"
+        );
     }
 
     #[test]

@@ -79,16 +79,16 @@ fn multibed_json() -> String {
     serde_json::to_string(&out).expect("outcomes serialize")
 }
 
-/// Hash pins. MULTIBED is still the value recorded on the pre-refactor
-/// (string-keyed `BTreeMap`-routed) fabric. E4 was re-recorded after
-/// the supervisor fault-robustness work (command retry/backoff, ack
-/// expiry, degraded mode) deliberately changed supervisor traffic on
-/// lossy links and added fields to the serialized outcome; fabric
-/// equivalence itself is still guaranteed bit-exactly by the
-/// `dense_vs_reference` proptests in `mcps-net`.
-const E4_GRID_HASH: u64 = 0x6340_065b_0749_4b06;
-const E4_GRID_LEN: usize = 4551;
-const MULTIBED_HASH: u64 = 0xc1f3_0e1c_ce19_7b10;
+/// Hash pins. Both values were re-recorded after the supervisor
+/// redundancy work (periodic heartbeats on the command channel, epoch
+/// stamps on every command, failover telemetry in the serialized
+/// outcome) deliberately changed supervisor traffic and the outcome
+/// schema in every scenario; fabric equivalence itself is still
+/// guaranteed bit-exactly by the `dense_vs_reference` proptests in
+/// `mcps-net`.
+const E4_GRID_HASH: u64 = 0x4d92_0ea0_52ae_358b;
+const E4_GRID_LEN: usize = 19184;
+const MULTIBED_HASH: u64 = 0x8af6_1fb4_7ea4_288a;
 const MULTIBED_LEN: usize = 1127;
 
 #[test]
