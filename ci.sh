@@ -19,6 +19,11 @@
 #      fails on ANY invariant violation in the reduced fault grid
 #      (no-overdose, plus failover/split-brain for the supervisor-crash
 #      and partition cells), or if the campaign blows its ceiling
+#  10. serve-mode smoke                          — the serve crate's
+#      crash harness (kill -9 the live supervisor mid-bolus; the
+#      device-local fail-safe must latch), then bench_serve --quick
+#      (live ingest throughput + danger-to-stop cycles, zero trace
+#      allocations with tracing disabled), emitting BENCH_serve.json
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -60,5 +65,12 @@ cargo build --release -q -p mcps-bench --bin bench_faults
 ./target/release/bench_faults --quick --out target/BENCH_faults.json --max-ms 60000 > /dev/null
 test -s target/BENCH_faults.json || { echo "BENCH_faults.json missing"; exit 1; }
 echo "quick fault grid: zero invariant violations (target/BENCH_faults.json)"
+
+echo "== serve-mode smoke (live host, crash harness, smoke budget) =="
+cargo test -q -p mcps-serve --release --test crash --test live_loop
+cargo build --release -q -p mcps-bench --bin bench_serve
+./target/release/bench_serve --quick --out target/BENCH_serve.json --max-ms 30000 > /dev/null
+test -s target/BENCH_serve.json || { echo "BENCH_serve.json missing"; exit 1; }
+echo "live serve loop under the 30s ceiling, zero trace allocations (target/BENCH_serve.json)"
 
 echo "CI OK"

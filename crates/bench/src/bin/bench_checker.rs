@@ -72,18 +72,8 @@ fn main() {
         budget,
         workloads,
     };
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
-    println!("{json}");
-    println!("\nwrote {out_path}");
-
-    if bound20_ms > max_ms {
-        eprintln!(
-            "SMOKE BUDGET EXCEEDED: state_space_bound20 took {bound20_ms:.1} ms (ceiling {max_ms} ms)"
-        );
-        std::process::exit(1);
-    }
-    println!("smoke budget OK: state_space_bound20 in {bound20_ms:.1} ms (ceiling {max_ms} ms)");
+    mcps_bench::write_report(&report, &out_path);
+    mcps_bench::smoke_budget("state_space_bound20", bound20_ms, max_ms);
 }
 
 fn outcome_name(outcome: &mcps_safety::CheckOutcome) -> String {

@@ -186,15 +186,7 @@ fn main() {
         qos: "ideal (routing/*), wifi (planning_wifi/*, ward/*)".to_owned(),
         workloads,
     };
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
-    println!("{json}");
-    println!("\nwrote {out_path}");
-
-    if smoke_ms > max_ms {
-        eprintln!("SMOKE BUDGET EXCEEDED: routing/256 took {smoke_ms:.1} ms (ceiling {max_ms} ms)");
-        std::process::exit(1);
-    }
-    println!("smoke budget OK: routing/256 in {smoke_ms:.1} ms (ceiling {max_ms} ms)");
+    mcps_bench::write_report(&report, &out_path);
+    mcps_bench::smoke_budget("routing/256", smoke_ms, max_ms);
     println!("routing/256 dense-vs-reference speedup: {routing256_speedup:.2}x");
 }

@@ -76,10 +76,9 @@ fn main() {
     }
     table.print();
 
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    mcps_bench::write_report(&report, &out_path);
     println!(
-        "\nwrote {out_path}: {} cells, {} violation(s), {} spurious degradation(s), {:.0} ms",
+        "{} cells, {} violation(s), {} spurious degradation(s), {:.0} ms",
         report.cells.len(),
         report.total_violations,
         report.total_spurious,

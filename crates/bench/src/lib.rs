@@ -83,6 +83,35 @@ impl Table {
     }
 }
 
+/// Serializes `report` as pretty JSON, writes it to `path`, and echoes
+/// the JSON to stdout — the shared tail of every `bench_*` binary, so
+/// perf baselines land in version control in one consistent shape.
+///
+/// # Panics
+///
+/// Panics if the report fails to serialize or the file cannot be
+/// written (a bench run without its artifact is a failed run).
+pub fn write_report<T: serde::Serialize>(report: &T, path: &str) {
+    let json = serde_json::to_string_pretty(report).expect("report serializes");
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("{json}");
+    println!("\nwrote {path}");
+}
+
+/// Enforces a CI smoke budget: if `measured_ms` exceeds `ceiling_ms`
+/// the process exits nonzero with a diagnostic naming `workload`.
+/// Ceilings are meant to be generous — they catch order-of-magnitude
+/// regressions, not jitter.
+pub fn smoke_budget(workload: &str, measured_ms: f64, ceiling_ms: f64) {
+    if measured_ms > ceiling_ms {
+        eprintln!(
+            "SMOKE BUDGET EXCEEDED: {workload} took {measured_ms:.1} ms (ceiling {ceiling_ms} ms)"
+        );
+        std::process::exit(1);
+    }
+    println!("smoke budget OK: {workload} in {measured_ms:.1} ms (ceiling {ceiling_ms} ms)");
+}
+
 /// Parses `--key value` and `--flag` arguments.
 ///
 /// ```

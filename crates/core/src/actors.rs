@@ -322,7 +322,7 @@ impl Actor<IceMsg> for PumpActor {
             IceMsg::PressButton => {
                 let d = self.pump.request_bolus(now);
                 self.record_decision(d);
-                ctx.trace("pump", format!("bolus request: {d:?}"));
+                ctx.trace_with("pump", || format!("bolus request: {d:?}"));
             }
             IceMsg::Net(NetOp::Deliver {
                 from,
@@ -337,13 +337,10 @@ impl Actor<IceMsg> for PumpActor {
                 // partitioned ex-primary must not actuate anything.
                 if epoch < self.max_epoch_seen {
                     self.fenced_commands += 1;
-                    ctx.trace(
-                        "pump",
-                        format!(
-                            "fenced stale command id {id} (epoch {epoch} < {})",
-                            self.max_epoch_seen
-                        ),
-                    );
+                    let max_seen = self.max_epoch_seen;
+                    ctx.trace_with("pump", || {
+                        format!("fenced stale command id {id} (epoch {epoch} < {max_seen})")
+                    });
                     return;
                 }
                 self.max_epoch_seen = epoch;
@@ -352,7 +349,7 @@ impl Actor<IceMsg> for PumpActor {
                 match self.epoch_senders.get(&epoch) {
                     Some(&prev) if prev != from => {
                         self.double_actuations += 1;
-                        ctx.trace("pump", format!("double actuation in epoch {epoch}"));
+                        ctx.trace_with("pump", || format!("double actuation in epoch {epoch}"));
                     }
                     None => {
                         self.epoch_senders.insert(epoch, from);
@@ -373,7 +370,9 @@ impl Actor<IceMsg> for PumpActor {
                             // acknowledged (the first ack was evidently
                             // lost) but not re-applied.
                             self.duplicate_commands += 1;
-                            ctx.trace("pump", format!("duplicate command id {id} absorbed"));
+                            ctx.trace_with("pump", || {
+                                format!("duplicate command id {id} absorbed")
+                            });
                             at
                         }
                         None => {
@@ -584,7 +583,7 @@ impl Actor<IceMsg> for VentilatorActor {
                 match cmd {
                     IceCommand::PauseVentilation { duration } => {
                         let out = self.vent.pause(now, duration);
-                        ctx.trace("vent", format!("pause -> {out:?}"));
+                        ctx.trace_with("vent", || format!("pause -> {out:?}"));
                     }
                     IceCommand::ResumeVentilation => {
                         self.vent.resume(now);
@@ -649,7 +648,9 @@ impl Actor<IceMsg> for XRayActor {
                         ctx.trace("xray", "armed");
                     }
                     IceCommand::Expose => match self.xray.expose(now) {
-                        Some(e) => ctx.trace("xray", format!("exposure {} .. {}", e.start, e.end)),
+                        Some(e) => {
+                            ctx.trace_with("xray", || format!("exposure {} .. {}", e.start, e.end));
+                        }
                         None => ctx.trace("xray", "expose refused (not armed)"),
                     },
                     IceCommand::Heartbeat => {} // liveness probe: ack only

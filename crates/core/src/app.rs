@@ -24,11 +24,20 @@ pub struct AppCtx<'a> {
     rng: &'a mut SimRng,
     outbox: Vec<(String, IceCommand)>,
     notes: Vec<String>,
+    notes_enabled: bool,
 }
 
 impl<'a> AppCtx<'a> {
     pub(crate) fn new(now: SimTime, manager: &'a DeviceManager, rng: &'a mut SimRng) -> Self {
-        AppCtx { now, manager, rng, outbox: Vec::new(), notes: Vec::new() }
+        AppCtx { now, manager, rng, outbox: Vec::new(), notes: Vec::new(), notes_enabled: true }
+    }
+
+    /// Sets whether notes are collected at all. The supervisor passes
+    /// its trace enablement here so disabled-trace runs never build the
+    /// note `String`s they would immediately discard.
+    pub(crate) fn with_notes_enabled(mut self, enabled: bool) -> Self {
+        self.notes_enabled = enabled;
+        self
     }
 
     /// The app's deterministic random stream (e.g. for modelling human
@@ -58,9 +67,22 @@ impl<'a> AppCtx<'a> {
         self.outbox.push((slot.to_owned(), command));
     }
 
-    /// Emits a trace note (appears under the `app` category).
+    /// Emits a trace note (appears under the `app` category). The
+    /// enablement check precedes the `Into<String>` conversion, so a
+    /// disabled trace pays no allocation even for `&str` arguments.
     pub fn note(&mut self, text: impl Into<String>) {
-        self.notes.push(text.into());
+        if self.notes_enabled {
+            self.notes.push(text.into());
+        }
+    }
+
+    /// Emits a lazily built trace note: the closure runs only when
+    /// notes are being collected. Prefer this over [`Self::note`] when
+    /// the message requires formatting.
+    pub fn note_with(&mut self, text: impl FnOnce() -> String) {
+        if self.notes_enabled {
+            self.notes.push(text());
+        }
     }
 
     pub(crate) fn into_parts(self) -> (Vec<(String, IceCommand)>, Vec<String>) {
@@ -115,5 +137,21 @@ mod tests {
         let (out, notes) = ctx.into_parts();
         assert_eq!(out, vec![("pump".to_owned(), IceCommand::StopPump)]);
         assert_eq!(notes, vec!["hello".to_owned()]);
+    }
+
+    #[test]
+    fn disabled_notes_build_nothing() {
+        let manager = DeviceManager::new(vec![]);
+        let mut rng = mcps_sim::rng::RngFactory::new(1).stream("appctx");
+        let mut ctx = AppCtx::new(SimTime::ZERO, &manager, &mut rng).with_notes_enabled(false);
+        let mut built = 0u32;
+        ctx.note("dropped");
+        ctx.note_with(|| {
+            built += 1;
+            "never".to_owned()
+        });
+        assert_eq!(built, 0, "disabled notes must not run the closure");
+        let (_, notes) = ctx.into_parts();
+        assert!(notes.is_empty());
     }
 }

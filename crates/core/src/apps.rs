@@ -276,7 +276,7 @@ impl ClinicalApp for XRayCoordinatorApp {
             XrState::ResumeWhenReady { at } if now >= at => {
                 ctx.command("ventilator", IceCommand::ResumeVentilation);
                 self.completed += 1;
-                ctx.note(format!("exposure sequence {} complete", self.completed));
+                ctx.note_with(|| format!("exposure sequence {} complete", self.completed));
                 self.next_request_at = now + self.interval;
                 self.goto(now, XrState::Idle);
             }

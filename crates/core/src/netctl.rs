@@ -106,7 +106,7 @@ impl Actor<IceMsg> for NetworkController {
         }
         for &d in &planned {
             let Some(actor) = self.route(d.to) else {
-                ctx.trace("net", format!("no route for {}", d.to));
+                ctx.trace_with("net", || format!("no route for {}", d.to));
                 continue;
             };
             self.delivered += 1;

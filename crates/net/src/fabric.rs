@@ -69,9 +69,11 @@ impl EndpointId {
         self.0
     }
 
-    /// Builds an id from a raw index (crate-internal: ids are normally
-    /// issued by [`Fabric::add_endpoint`]).
-    pub(crate) const fn from_index(index: u32) -> Self {
+    /// Builds an id from a raw index. Ids are normally issued by
+    /// [`Fabric::add_endpoint`]; this constructor exists for drivers
+    /// that address endpoints across a process boundary (the serve-mode
+    /// wire protocol), where both sides agree on indices by convention.
+    pub const fn from_index(index: u32) -> Self {
         EndpointId(index)
     }
 }

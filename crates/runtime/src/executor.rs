@@ -64,8 +64,27 @@ impl<M> Context<'_, M> {
 
     /// Appends a record to the simulation trace, attributed to this
     /// actor at the current time.
+    ///
+    /// Prefer [`Self::trace_with`] when the message requires formatting:
+    /// `trace` evaluates its message argument even when the log is
+    /// disabled, while `trace_with` defers construction entirely.
     pub fn trace(&mut self, category: &str, message: impl Into<String>) {
         self.trace.push(self.now, self.self_id, category, message);
+    }
+
+    /// Whether the trace log currently records anything. Hot paths can
+    /// gate expensive message construction on this.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_enabled()
+    }
+
+    /// Appends a lazily built record to the simulation trace. The
+    /// closure runs only when the log is enabled, so disabled-trace runs
+    /// pay no allocation or formatting cost for hot-path traces.
+    pub fn trace_with(&mut self, category: &str, message: impl FnOnce() -> String) {
+        if self.trace.is_enabled() {
+            self.trace.push(self.now, self.self_id, category, message());
+        }
     }
 
     /// Requests that the simulation stop after the current event.
@@ -159,5 +178,57 @@ impl<M: 'static> Executor<M> {
             Context { now: ev.at, self_id: ev.target, sched, trace, rng: &mut self.rngs[idx] };
         actor.handle(ev.msg, &mut ctx);
         self.actors[idx] = Some(actor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_parts() -> (Scheduler<()>, TraceLog, SimRng) {
+        (Scheduler::new(), TraceLog::new(8), RngFactory::new(1).stream("t"))
+    }
+
+    #[test]
+    fn trace_with_skips_closure_when_disabled() {
+        let (mut sched, mut trace, mut rng) = ctx_parts();
+        trace.set_enabled(false);
+        let mut built = 0u32;
+        {
+            let mut ctx = Context {
+                now: SimTime::ZERO,
+                self_id: ActorId::from_index(0),
+                sched: &mut sched,
+                trace: &mut trace,
+                rng: &mut rng,
+            };
+            assert!(!ctx.trace_enabled());
+            ctx.trace_with("cat", || {
+                built += 1;
+                "expensive".to_owned()
+            });
+        }
+        assert_eq!(built, 0, "disabled trace must not build the message");
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn trace_with_records_when_enabled() {
+        let (mut sched, mut trace, mut rng) = ctx_parts();
+        {
+            let mut ctx = Context {
+                now: SimTime::from_secs(2),
+                self_id: ActorId::from_index(0),
+                sched: &mut sched,
+                trace: &mut trace,
+                rng: &mut rng,
+            };
+            assert!(ctx.trace_enabled());
+            ctx.trace_with("cat", || "built".to_owned());
+        }
+        let rec = trace.records().next().expect("one record");
+        assert_eq!(rec.category, "cat");
+        assert_eq!(rec.message, "built");
+        assert_eq!(rec.at, SimTime::from_secs(2));
     }
 }

@@ -1,0 +1,138 @@
+//! The `mcps-serve` binary: a live PCA safety supervisor.
+//!
+//! Hosts the sans-io [`SupervisorCore`] with the PCA safety interlock
+//! behind a framed transport — stdio by default (spawn it as a child
+//! process and speak frames over its pipes), or TCP with `--tcp ADDR`
+//! (serves one connection, then exits).
+//!
+//! ```text
+//! mcps-serve [--speed F] [--seed N] [--capacity N] [--trace]
+//!            [--strategy command|ticket] [--resume-holdoff-secs N]
+//!            [--tcp ADDR]
+//! ```
+//!
+//! `--speed` scales wall time onto the supervisor's protocol timeline
+//! (tests run at 30–1000×); `--capacity` bounds the ingress queue
+//! (back-pressure sheds oldest vitals beyond it); `--trace` prints the
+//! supervisor's trace stream to stderr.
+
+use mcps_control::interlock::{InterlockConfig, InterlockStrategy};
+use mcps_core::{PcaSafetyApp, SupervisorCore};
+use mcps_net::fabric::EndpointId;
+use mcps_serve::host::{ServeConfig, ServeHost};
+use mcps_serve::transport::{FramedTransport, Transport};
+use mcps_sim::time::SimDuration;
+
+struct Options {
+    speed: f64,
+    seed: u64,
+    capacity: usize,
+    trace: bool,
+    ticket_mode: bool,
+    resume_holdoff_secs: u64,
+    tcp: Option<String>,
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        speed: 1.0,
+        seed: 42,
+        capacity: 256,
+        trace: false,
+        ticket_mode: false,
+        resume_holdoff_secs: 30,
+        tcp: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| die(&format!("{arg} needs a value")));
+        match arg.as_str() {
+            "--speed" => opts.speed = parse(&value(), "--speed"),
+            "--seed" => opts.seed = parse(&value(), "--seed"),
+            "--capacity" => opts.capacity = parse(&value(), "--capacity"),
+            "--trace" => opts.trace = true,
+            "--strategy" => {
+                opts.ticket_mode = match value().as_str() {
+                    "ticket" => true,
+                    "command" => false,
+                    other => die(&format!("unknown strategy {other:?} (command|ticket)")),
+                }
+            }
+            "--resume-holdoff-secs" => {
+                opts.resume_holdoff_secs = parse(&value(), "--resume-holdoff-secs")
+            }
+            "--tcp" => opts.tcp = Some(value()),
+            "--help" | "-h" => {
+                eprintln!(
+                    "mcps-serve [--speed F] [--seed N] [--capacity N] [--trace] \
+                     [--strategy command|ticket] [--resume-holdoff-secs N] [--tcp ADDR]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    opts
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    s.parse().unwrap_or_else(|_| die(&format!("bad value {s:?} for {what}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("mcps-serve: {msg}");
+    std::process::exit(2);
+}
+
+fn build_core(opts: &Options) -> SupervisorCore {
+    let mut config = InterlockConfig::default();
+    if !opts.ticket_mode {
+        config.strategy = InterlockStrategy::Command;
+    }
+    config.resume_holdoff = SimDuration::from_secs(opts.resume_holdoff_secs);
+    SupervisorCore::new(
+        PcaSafetyApp::new(config),
+        EndpointId::from_index(3),
+        SimDuration::from_secs(2),
+    )
+}
+
+fn serve<T: Transport>(opts: &Options, transport: T) {
+    let core = build_core(opts);
+    let config = ServeConfig {
+        speed: opts.speed,
+        ingress_capacity: opts.capacity,
+        trace: opts.trace,
+        seed: opts.seed,
+    };
+    let mut host = ServeHost::new(core, transport, config);
+    host.run();
+    let stats = host.stats();
+    eprintln!(
+        "mcps-serve: session over — {} in / {} out, {} ticks, {} delivered, {} vitals shed, {} critical overflow",
+        stats.frames_in,
+        stats.frames_out,
+        stats.ticks_fired,
+        stats.deliveries,
+        stats.vitals_shed,
+        stats.critical_overflow,
+    );
+}
+
+fn main() {
+    let opts = parse_options();
+    match &opts.tcp {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
+            eprintln!("mcps-serve: listening on {addr}");
+            let (stream, peer) =
+                listener.accept().unwrap_or_else(|e| die(&format!("accept failed: {e}")));
+            eprintln!("mcps-serve: serving {peer}");
+            let transport = FramedTransport::tcp(stream)
+                .unwrap_or_else(|e| die(&format!("socket setup failed: {e}")));
+            serve(&opts, transport);
+        }
+        None => serve(&opts, FramedTransport::stdio()),
+    }
+}

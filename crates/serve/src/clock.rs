@@ -1,0 +1,60 @@
+//! Wall-clock → simulation-time mapping for live serving.
+//!
+//! The sans-io [`mcps_core::SupervisorCore`] thinks in [`SimTime`];
+//! serve mode feeds it real time. [`ServeClock`] anchors `SimTime::ZERO`
+//! at construction and scales elapsed wall time by a speed factor, so
+//! tests and the crash harness can compress minutes of protocol time
+//! (association, heartbeats, watchdog windows) into fractions of a
+//! wall second while production runs at `speed = 1.0`.
+
+use mcps_sim::time::SimTime;
+use std::time::Instant;
+
+/// Maps monotonic wall time onto the supervisor's simulation timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeClock {
+    start: Instant,
+    speed: f64,
+}
+
+impl ServeClock {
+    /// Starts the clock now. `speed` is sim-seconds per wall-second;
+    /// values `<= 0` are clamped to `1.0`.
+    pub fn new(speed: f64) -> Self {
+        let speed = if speed > 0.0 { speed } else { 1.0 };
+        ServeClock { start: Instant::now(), speed }
+    }
+
+    /// The speed factor in effect.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// The current position on the simulation timeline.
+    pub fn sim_now(&self) -> SimTime {
+        let wall = self.start.elapsed().as_secs_f64();
+        SimTime::from_micros((wall * self.speed * 1e6) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_and_scales() {
+        let c = ServeClock::new(1000.0);
+        let a = c.sim_now();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let b = c.sim_now();
+        assert!(b > a, "clock must advance: {a:?} -> {b:?}");
+        // 5 ms wall at 1000x is ~5 sim-seconds; allow generous slack.
+        assert!(b.saturating_since(a) >= mcps_sim::time::SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn nonpositive_speed_clamps_to_realtime() {
+        assert!((ServeClock::new(0.0).speed() - 1.0).abs() < f64::EPSILON);
+        assert!((ServeClock::new(-3.0).speed() - 1.0).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,321 @@
+//! The live supervisor host: one sans-io core, one transport, one loop.
+//!
+//! [`ServeHost`] owns a [`SupervisorCore`] and drives it from two input
+//! sources instead of a discrete-event scheduler:
+//!
+//! * **Timers** — a [`ServeClock`] maps wall time onto the core's
+//!   simulation timeline; ticks fire at the exact multiples of the
+//!   core's step, so the state machine sees the same cadence it sees
+//!   under the simulator.
+//! * **Ingress** — messages arriving on the [`Transport`] land in a
+//!   bounded queue. When the queue is full, the *oldest vitals sample*
+//!   is shed to make room: stale vitals are superseded by fresh ones,
+//!   but commands, acks, announcements and checkpoints are load-bearing
+//!   protocol steps and are never dropped (the queue may transiently
+//!   exceed its bound to hold them).
+//!
+//! Everything the core emits is flushed back out through the same
+//! transport, stamped with the supervisor's endpoint as source.
+
+use crate::clock::ServeClock;
+use crate::transport::{Transport, TransportError};
+use mcps_core::msg::{NetOp, NetPayload};
+use mcps_core::{CoreInput, CoreOutputs, SupervisorCore};
+use mcps_net::fabric::EndpointId;
+use mcps_sim::prelude::{RngFactory, SimRng, SimTime};
+use std::collections::VecDeque;
+
+/// Tunables for a [`ServeHost`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Sim-seconds per wall-second (`1.0` = real time).
+    pub speed: f64,
+    /// Ingress queue bound; beyond it, oldest vitals are shed.
+    pub ingress_capacity: usize,
+    /// Whether to build and print trace lines (stderr). Off keeps the
+    /// hot path allocation-free.
+    pub trace: bool,
+    /// Master seed for the core's deterministic RNG stream.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { speed: 1.0, ingress_capacity: 256, trace: false, seed: 42 }
+    }
+}
+
+/// Counters describing a serve session.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
+pub struct ServeStats {
+    /// Messages received from the transport.
+    pub frames_in: u64,
+    /// Messages sent to the transport.
+    pub frames_out: u64,
+    /// Timer ticks delivered to the core.
+    pub ticks_fired: u64,
+    /// Ingress messages delivered to the core.
+    pub deliveries: u64,
+    /// Vitals samples shed by back-pressure (oldest-first).
+    pub vitals_shed: u64,
+    /// Critical messages enqueued past the nominal bound.
+    pub critical_overflow: u64,
+}
+
+/// Hosts a [`SupervisorCore`] live behind a [`Transport`].
+pub struct ServeHost<T: Transport> {
+    core: SupervisorCore,
+    transport: T,
+    clock: ServeClock,
+    out: CoreOutputs,
+    rng: SimRng,
+    ingress: VecDeque<(EndpointId, NetPayload)>,
+    capacity: usize,
+    trace: bool,
+    next_tick: SimTime,
+    stats: ServeStats,
+    closed: bool,
+}
+
+impl<T: Transport> std::fmt::Debug for ServeHost<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeHost")
+            .field("stats", &self.stats)
+            .field("ingress_depth", &self.ingress.len())
+            .field("closed", &self.closed)
+            .finish()
+    }
+}
+
+impl<T: Transport> ServeHost<T> {
+    /// Wraps a core and a transport; the clock starts now and the first
+    /// tick fires immediately.
+    pub fn new(core: SupervisorCore, transport: T, config: ServeConfig) -> Self {
+        let rng = RngFactory::new(config.seed).stream("serve-supervisor");
+        ServeHost {
+            core,
+            transport,
+            clock: ServeClock::new(config.speed),
+            out: CoreOutputs::new(),
+            rng,
+            ingress: VecDeque::with_capacity(config.ingress_capacity),
+            capacity: config.ingress_capacity.max(1),
+            trace: config.trace,
+            next_tick: SimTime::ZERO,
+            stats: ServeStats::default(),
+            closed: false,
+        }
+    }
+
+    /// The hosted core (for assertions and telemetry export).
+    pub fn core(&self) -> &SupervisorCore {
+        &self.core
+    }
+
+    /// Session counters so far.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// The core's output buffer (cumulative trace counters live here).
+    pub fn outputs(&self) -> &CoreOutputs {
+        &self.out
+    }
+
+    /// The host's clock.
+    pub fn clock(&self) -> ServeClock {
+        self.clock
+    }
+
+    /// Whether the transport has closed (peer gone).
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// One scheduling round: drain the transport into the ingress
+    /// queue, fire every due timer tick, then deliver queued ingress.
+    /// Returns `false` once the transport has closed and all pending
+    /// work is done — the session is over.
+    pub fn poll(&mut self) -> bool {
+        self.drain_transport();
+        let now = self.clock.sim_now();
+        while self.next_tick <= now {
+            let at = self.next_tick;
+            self.dispatch(at, CoreInput::Tick);
+            self.stats.ticks_fired += 1;
+            self.next_tick = at.saturating_add(self.core.step());
+        }
+        while let Some((from, payload)) = self.ingress.pop_front() {
+            self.dispatch(now, CoreInput::Deliver { from, payload });
+            self.stats.deliveries += 1;
+        }
+        !self.closed
+    }
+
+    /// Runs until the peer disconnects, sleeping briefly when idle.
+    pub fn run(&mut self) {
+        while self.poll() {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    fn drain_transport(&mut self) {
+        loop {
+            match self.transport.try_recv() {
+                Ok(Some(op)) => {
+                    self.stats.frames_in += 1;
+                    // Accept either framing direction: clients address
+                    // the host with `Deliver`; a raw `Send` is treated
+                    // as addressed to us.
+                    let (from, payload) = match op {
+                        NetOp::Deliver { from, payload } | NetOp::Send { from, payload, .. } => {
+                            (from, payload)
+                        }
+                    };
+                    self.enqueue(from, payload);
+                }
+                Ok(None) => return,
+                Err(TransportError::Closed) | Err(TransportError::Io(_)) => {
+                    self.closed = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Bounded enqueue with the shed policy from the module docs.
+    fn enqueue(&mut self, from: EndpointId, payload: NetPayload) {
+        if self.ingress.len() >= self.capacity {
+            let incoming_is_vital = matches!(payload, NetPayload::Data { .. });
+            let oldest_vital =
+                self.ingress.iter().position(|(_, p)| matches!(p, NetPayload::Data { .. }));
+            match (oldest_vital, incoming_is_vital) {
+                (Some(idx), _) => {
+                    // Make room by shedding the stalest vitals sample.
+                    self.ingress.remove(idx);
+                    self.stats.vitals_shed += 1;
+                }
+                (None, true) => {
+                    // Queue is all-critical; the fresh sample loses.
+                    self.stats.vitals_shed += 1;
+                    return;
+                }
+                (None, false) => {
+                    // Critical on critical: exceed the bound rather
+                    // than drop a protocol step.
+                    self.stats.critical_overflow += 1;
+                }
+            }
+        }
+        self.ingress.push_back((from, payload));
+    }
+
+    fn dispatch(&mut self, now: SimTime, input: CoreInput) {
+        self.out.begin(self.trace);
+        self.core.handle(now, input, &mut self.rng, &mut self.out);
+        for (category, message) in self.out.traces.drain(..) {
+            eprintln!("[{:>10.3}s] {category}: {message}", now.as_secs_f64());
+        }
+        let from = self.core.endpoint();
+        for (to, payload) in self.out.sends.drain(..) {
+            match self.transport.send(&NetOp::Send { from, to, payload }) {
+                Ok(()) => self.stats.frames_out += 1,
+                Err(_) => {
+                    self.closed = true;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::ChannelTransport;
+    use mcps_sim::time::SimTime;
+
+    fn vital(i: u64) -> NetPayload {
+        NetPayload::Data {
+            kind: mcps_patient::vitals::VitalKind::Spo2,
+            value: 97.0,
+            sampled_at: SimTime::from_secs(i),
+        }
+    }
+
+    fn host_with_capacity(capacity: usize) -> ServeHost<ChannelTransport> {
+        let (server, client) = ChannelTransport::pair();
+        // The tests below exercise `enqueue` directly; the client half
+        // is simply kept alive so the channel stays open.
+        std::mem::forget(client);
+        let core = SupervisorCore::new(
+            mcps_core::PcaSafetyApp::new(mcps_control::interlock::InterlockConfig::default()),
+            EndpointId::from_index(3),
+            mcps_sim::time::SimDuration::from_secs(2),
+        );
+        ServeHost::new(
+            core,
+            server,
+            ServeConfig { ingress_capacity: capacity, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn backpressure_sheds_oldest_vital_first() {
+        let mut host = host_with_capacity(2);
+        let ep = EndpointId::from_index(0);
+        host.enqueue(ep, vital(1));
+        host.enqueue(ep, vital(2));
+        host.enqueue(ep, vital(3));
+        assert_eq!(host.stats.vitals_shed, 1);
+        assert_eq!(host.ingress.len(), 2);
+        // The stalest sample (1) is gone; 2 and 3 remain in order.
+        let kept: Vec<u64> = host
+            .ingress
+            .iter()
+            .map(|(_, p)| match p {
+                NetPayload::Data { sampled_at, .. } => sampled_at.as_secs_f64() as u64,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![2, 3]);
+    }
+
+    #[test]
+    fn critical_messages_are_never_shed() {
+        let mut host = host_with_capacity(2);
+        let ep = EndpointId::from_index(2);
+        let critical = NetPayload::Ack {
+            id: 1,
+            command: mcps_core::IceCommand::StopPump,
+            applied_at: SimTime::ZERO,
+        };
+        host.enqueue(ep, critical.clone());
+        host.enqueue(ep, critical.clone());
+        // Full of criticals: an incoming vital is dropped...
+        host.enqueue(ep, vital(9));
+        assert_eq!(host.ingress.len(), 2);
+        assert_eq!(host.stats.vitals_shed, 1);
+        // ...but an incoming critical overflows the bound instead.
+        host.enqueue(ep, critical);
+        assert_eq!(host.ingress.len(), 3);
+        assert_eq!(host.stats.critical_overflow, 1);
+    }
+
+    #[test]
+    fn full_queue_with_mixed_content_sheds_vital_for_critical() {
+        let mut host = host_with_capacity(2);
+        let ep = EndpointId::from_index(2);
+        let ack = |id| NetPayload::Ack {
+            id,
+            command: mcps_core::IceCommand::StopPump,
+            applied_at: SimTime::ZERO,
+        };
+        host.enqueue(ep, vital(1));
+        host.enqueue(ep, ack(1));
+        host.enqueue(ep, ack(2));
+        assert_eq!(host.stats.vitals_shed, 1);
+        assert_eq!(host.ingress.len(), 2);
+        assert!(host.ingress.iter().all(|(_, p)| !matches!(p, NetPayload::Data { .. })));
+    }
+}

@@ -1,0 +1,41 @@
+//! # mcps-serve — the supervisor, live
+//!
+//! The workspace's supervisor logic is a sans-io state machine
+//! ([`mcps_core::SupervisorCore`]): timestamped inputs in, buffered
+//! outputs out, no opinion about where time or bytes come from. Under
+//! the simulator a thin actor adapter drives it from the discrete-event
+//! scheduler. This crate drives the *same* core from wall-clock time
+//! and real I/O:
+//!
+//! * [`wire`] — a self-synchronizing length-prefixed frame codec
+//!   (magic + length + JSON payload) that survives partial reads and
+//!   garbage without desyncing.
+//! * [`transport`] — the [`transport::Transport`] trait with in-memory
+//!   channel, stdio-frame and TCP-frame implementations.
+//! * [`clock`] — wall time → simulation time, with a speed factor so
+//!   tests compress protocol minutes into wall milliseconds.
+//! * [`host`] — [`host::ServeHost`], the serving loop: exact-cadence
+//!   timer ticks plus a bounded ingress queue whose back-pressure
+//!   policy sheds the oldest vitals first and never drops commands,
+//!   acks, announcements or checkpoints.
+//! * [`client`] — [`client::PcaBedClient`], a bed with a real pump
+//!   model (local fail-safe watchdog included) and scripted monitors,
+//!   used by the load generator and the crash harness.
+//!
+//! The `mcps-serve` binary hosts a PCA safety interlock over stdio or
+//! TCP; see the crate README section for invocation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod clock;
+pub mod host;
+pub mod transport;
+pub mod wire;
+
+pub use client::PcaBedClient;
+pub use clock::ServeClock;
+pub use host::{ServeConfig, ServeHost, ServeStats};
+pub use transport::{ChannelTransport, FramedTransport, Transport, TransportError};
+pub use wire::{encode_frame, FrameDecoder};

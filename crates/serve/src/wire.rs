@@ -1,0 +1,223 @@
+//! The length-prefixed frame codec for serve-mode transports.
+//!
+//! A frame is `MAGIC (4 bytes) ++ length (u32 LE) ++ payload`, where
+//! the payload is the JSON serialization of one [`NetOp`]. The magic
+//! makes the stream self-synchronizing: a decoder that lands mid-frame
+//! (or is fed garbage) scans forward to the next magic instead of
+//! misinterpreting arbitrary bytes as a length and desynchronizing
+//! forever. The scan advances one byte at a time past a bad candidate,
+//! so a true frame start inside the skipped region is never jumped
+//! over.
+
+use mcps_core::msg::NetOp;
+
+/// Frame start marker.
+pub const MAGIC: [u8; 4] = *b"MCP1";
+
+/// Upper bound on a frame payload. Real payloads are a few KiB
+/// (profiles are the largest); anything claiming more is corruption.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Encodes one [`NetOp`] as a framed byte sequence.
+///
+/// # Panics
+///
+/// Panics if the payload fails to serialize (all wire types are plain
+/// data; this cannot happen for well-formed messages).
+pub fn encode_frame(op: &NetOp) -> Vec<u8> {
+    let body = serde_json::to_string(op).expect("NetOp serializes");
+    let body = body.as_bytes();
+    let mut frame = Vec::with_capacity(8 + body.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&u32::try_from(body.len()).expect("frame < 4 GiB").to_le_bytes());
+    frame.extend_from_slice(body);
+    frame
+}
+
+/// An incremental frame decoder.
+///
+/// Feed arbitrary chunks with [`FrameDecoder::push`] (partial reads,
+/// coalesced writes, anything) and drain complete messages with
+/// [`FrameDecoder::next_frame`]. Corruption is skipped, counted, and
+/// never stalls the stream.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Read cursor into `buf` (compacted lazily).
+    pos: usize,
+    garbage_bytes: u64,
+    frames_rejected: u64,
+    frames_decoded: u64,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact consumed prefix before growing, keeping the buffer
+        // bounded by (unconsumed + chunk) rather than the whole stream.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes skipped while hunting for a frame start.
+    pub fn garbage_bytes(&self) -> u64 {
+        self.garbage_bytes
+    }
+
+    /// Frames whose header or payload was rejected (oversized length,
+    /// unparseable payload).
+    pub fn frames_rejected(&self) -> u64 {
+        self.frames_rejected
+    }
+
+    /// Frames successfully decoded.
+    pub fn frames_decoded(&self) -> u64 {
+        self.frames_decoded
+    }
+
+    /// Decodes the next complete message, if one is buffered.
+    pub fn next_frame(&mut self) -> Option<NetOp> {
+        loop {
+            self.seek_magic();
+            let avail = &self.buf[self.pos..];
+            if avail.len() < 8 {
+                return None;
+            }
+            let len = u32::from_le_bytes([avail[4], avail[5], avail[6], avail[7]]) as usize;
+            if len > MAX_FRAME {
+                // A corrupt length. Advance one byte (not past the
+                // whole claimed frame): if this was noise that happened
+                // to contain the magic, the real frame behind it is
+                // still reachable.
+                self.frames_rejected += 1;
+                self.pos += 1;
+                self.garbage_bytes += 1;
+                continue;
+            }
+            if avail.len() < 8 + len {
+                return None;
+            }
+            let payload = &avail[8..8 + len];
+            match std::str::from_utf8(payload).ok().and_then(|s| serde_json::from_str(s).ok()) {
+                Some(op) => {
+                    self.pos += 8 + len;
+                    self.frames_decoded += 1;
+                    return Some(op);
+                }
+                None => {
+                    // The bytes under this magic are not a frame.
+                    // Resync one byte forward rather than skipping the
+                    // claimed length — the next true frame may start
+                    // anywhere inside it.
+                    self.frames_rejected += 1;
+                    self.pos += 1;
+                    self.garbage_bytes += 1;
+                }
+            }
+        }
+    }
+
+    /// Advances `pos` to the next magic (or near the buffer end),
+    /// counting skipped bytes as garbage.
+    fn seek_magic(&mut self) {
+        while self.pos < self.buf.len() {
+            let avail = &self.buf[self.pos..];
+            if avail.len() < MAGIC.len() {
+                // A strict prefix of the magic at the end of the buffer
+                // might be a frame start split across reads: keep it.
+                if MAGIC.starts_with(avail) {
+                    return;
+                }
+                // Otherwise drop one byte and re-check the remainder.
+                self.pos += 1;
+                self.garbage_bytes += 1;
+                continue;
+            }
+            if avail[..4] == MAGIC {
+                return;
+            }
+            self.pos += 1;
+            self.garbage_bytes += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcps_core::msg::NetPayload;
+    use mcps_net::fabric::EndpointId;
+    use mcps_sim::time::SimTime;
+
+    fn sample(i: u64) -> NetOp {
+        NetOp::Deliver {
+            from: EndpointId::from_index(0),
+            payload: NetPayload::Data {
+                kind: mcps_patient::vitals::VitalKind::Spo2,
+                value: 90.0 + i as f64,
+                sampled_at: SimTime::from_secs(i),
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let op = sample(1);
+        let mut dec = FrameDecoder::new();
+        dec.push(&encode_frame(&op));
+        assert_eq!(dec.next_frame(), Some(op));
+        assert_eq!(dec.next_frame(), None);
+        assert_eq!(dec.garbage_bytes(), 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_reassembly() {
+        let ops: Vec<NetOp> = (0..3).map(sample).collect();
+        let mut bytes = Vec::new();
+        for op in &ops {
+            bytes.extend_from_slice(&encode_frame(op));
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in bytes {
+            dec.push(&[b]);
+            while let Some(op) = dec.next_frame() {
+                got.push(op);
+            }
+        }
+        assert_eq!(got, ops);
+        assert_eq!(dec.frames_rejected(), 0);
+    }
+
+    #[test]
+    fn garbage_prefix_is_skipped_without_desync() {
+        let op = sample(7);
+        let mut dec = FrameDecoder::new();
+        dec.push(b"\x00\xffnoise");
+        dec.push(&encode_frame(&op));
+        assert_eq!(dec.next_frame(), Some(op));
+        assert!(dec.garbage_bytes() >= 7);
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_and_stream_recovers() {
+        let op = sample(2);
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&MAGIC);
+        bad.extend_from_slice(&u32::MAX.to_le_bytes());
+        bad.extend_from_slice(b"junk");
+        let mut dec = FrameDecoder::new();
+        dec.push(&bad);
+        dec.push(&encode_frame(&op));
+        assert_eq!(dec.next_frame(), Some(op));
+        assert!(dec.frames_rejected() >= 1);
+    }
+}
