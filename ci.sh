@@ -8,6 +8,14 @@
 # Extras the tier-1 gate does not cover:
 #   4. cargo test --workspace -q                — every crate incl. shims
 #   5. cargo build --benches                    — criterion benches compile
+#   5a. scheduler conformance                   — timer-wheel engine ==
+#      reference heap engine in lockstep (pop-for-pop, seq-exact)
+#   5b. scheduler golden pins                   — the fabric_golden
+#      baseline hashes must be the pre-wheel constants (the wheel must
+#      reproduce them, never re-record them), and the pinned test passes
+#   5c. runtime scheduler smoke budget          — bench_runtime --quick
+#      fails if wheel/heap pop streams diverge, if the steady-state
+#      dispatch path allocates, or past its wall-clock ceiling
 #   6. checker conformance tests                — packed engine ==
 #      reference engine, serial == parallel (bit-identical)
 #   7. checker smoke budget                     — bench_checker fails if
@@ -45,6 +53,22 @@ cargo test --workspace -q
 
 echo "== benches compile =="
 cargo build --benches
+
+echo "== scheduler conformance (timer wheel vs reference heap, lockstep) =="
+cargo test -q -p mcps-runtime --release --test wheel_lockstep
+
+echo "== scheduler golden pins (wheel must not re-record fabric baselines) =="
+grep -q "0x4d92_0ea0_52ae_358b" tests/fabric_golden.rs \
+    || { echo "E4 grid golden hash pin was altered"; exit 1; }
+grep -q "0x8af6_1fb4_7ea4_288a" tests/fabric_golden.rs \
+    || { echo "multibed golden hash pin was altered"; exit 1; }
+cargo test -q --release --test fabric_golden
+
+echo "== runtime scheduler smoke budget =="
+cargo build --release -q -p mcps-bench --bin bench_runtime
+./target/release/bench_runtime --quick --out target/BENCH_runtime.json --max-ms 30000 > /dev/null
+test -s target/BENCH_runtime.json || { echo "BENCH_runtime.json missing"; exit 1; }
+echo "wheel/heap conformance hashes match, zero steady-state allocs (target/BENCH_runtime.json)"
 
 echo "== checker conformance (packed vs reference, serial vs parallel) =="
 cargo test -q -p mcps-safety --release --test packed_engine

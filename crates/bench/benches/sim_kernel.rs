@@ -101,9 +101,7 @@ impl Actor<Fan> for Burst {
     fn handle(&mut self, msg: Fan, ctx: &mut Context<'_, Fan>) {
         if matches!(msg, Fan::Tick) && self.rounds > 0 {
             self.rounds -= 1;
-            for _ in 0..self.per_round {
-                ctx.send(self.sink, Fan::Data);
-            }
+            ctx.send_many(self.sink, (0..self.per_round).map(|_| Fan::Data));
             ctx.schedule_self(SimDuration::from_millis(1), Fan::Tick);
         }
     }

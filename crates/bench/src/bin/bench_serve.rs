@@ -52,6 +52,7 @@ struct IngestReport {
     samples_offered: u64,
     samples_processed: u64,
     samples_shed: u64,
+    ingress_peak: u64,
     wall_ms: f64,
     samples_per_sec: f64,
 }
@@ -66,6 +67,7 @@ struct LatencyReport {
     max_ms: f64,
     vitals_shed: u64,
     critical_overflow: u64,
+    ingress_peak: u64,
 }
 
 fn command_core(resume_holdoff: SimDuration) -> SupervisorCore {
@@ -133,6 +135,7 @@ fn bench_ingest(samples: u64) -> (IngestReport, u64, u64) {
         samples_offered: offered,
         samples_processed: processed,
         samples_shed: stats.vitals_shed,
+        ingress_peak: stats.ingress_peak,
         wall_ms: wall * 1e3,
         samples_per_sec: processed as f64 / wall.max(1e-9),
     };
@@ -213,6 +216,7 @@ fn bench_danger_stop(cycles: usize, noise_per_round: u64) -> (LatencyReport, u64
         max_ms: latencies_ms.iter().cloned().fold(0.0, f64::max),
         vitals_shed: stats.vitals_shed,
         critical_overflow: stats.critical_overflow,
+        ingress_peak: stats.ingress_peak,
     };
     (report, rig.host.outputs().traces_built(), rig.host.outputs().traces_suppressed())
 }

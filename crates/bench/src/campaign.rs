@@ -283,6 +283,18 @@ pub struct FailsafeSummary {
     pub max_secs: f64,
 }
 
+/// Scheduler queue-pressure aggregates across a cell's trials,
+/// harvested from the runtime timer wheel's telemetry export.
+#[derive(Debug, Clone, Serialize)]
+pub struct QueuePressure {
+    /// Timed events filed into the scheduler (all trials).
+    pub events_scheduled: u64,
+    /// Wheel slot cascades performed (all trials).
+    pub cascades: u64,
+    /// Deepest same-instant ready ring observed in any trial.
+    pub max_ready_depth: u64,
+}
+
 /// The scorecard for one campaign cell.
 #[derive(Debug, Clone, Serialize)]
 pub struct CellReport {
@@ -332,6 +344,8 @@ pub struct CellReport {
     pub max_total_drug_mg: f64,
     /// Deepest true SpO₂ across trials, %.
     pub min_spo2: f64,
+    /// Scheduler queue pressure for the cell.
+    pub queue: QueuePressure,
 }
 
 /// The whole campaign's scorecard.
@@ -349,6 +363,8 @@ pub struct CampaignReport {
     pub total_violations: u64,
     /// Total spurious degradations across the grid.
     pub total_spurious: u64,
+    /// Deepest same-instant ready ring observed anywhere in the grid.
+    pub max_ready_depth: u64,
 }
 
 /// Whether the pump was permitted anywhere in `(a, b)` seconds.
@@ -446,6 +462,7 @@ fn trial_config(spec: &CellSpec, cfg: &CampaignConfig, trial: u64) -> PcaScenari
     c.duration = cfg.run;
     c.proxy_rate_per_hour = 20.0;
     c.backup_oximeter = spec.backup;
+    c.scheduler_telemetry = true;
     if let Some(il) = c.interlock.as_mut() {
         il.plausibility_check = true;
     }
@@ -485,6 +502,7 @@ pub fn run_cell(spec: &CellSpec, cfg: &CampaignConfig) -> CellReport {
     let mut local_failsafe_entries = 0u64;
     let mut max_drug = 0f64;
     let mut min_spo2 = f64::INFINITY;
+    let mut queue = QueuePressure { events_scheduled: 0, cascades: 0, max_ready_depth: 0 };
     for trial in 0..cfg.trials {
         let out = run_pca_scenario(&trial_config(spec, cfg, trial));
         let (violation, failsafe, sp) = evaluate(spec, run_secs, &out);
@@ -505,6 +523,11 @@ pub fn run_cell(spec: &CellSpec, cfg: &CampaignConfig) -> CellReport {
         local_failsafe_entries += out.local_failsafe_entries;
         max_drug = max_drug.max(out.total_drug_mg);
         min_spo2 = min_spo2.min(out.patient.min_spo2);
+        queue.events_scheduled += out.telemetry.counter("sched.events_scheduled");
+        queue.cascades += out.telemetry.counter("sched.cascades");
+        let depth =
+            out.telemetry.histogram("sched.max_ready_depth").map_or(0.0, |h| h.summary().max);
+        queue.max_ready_depth = queue.max_ready_depth.max(depth as u64);
     }
     let failsafe = (!failsafe_times.is_empty()).then(|| {
         let s = Summary::from_values(&failsafe_times);
@@ -538,6 +561,7 @@ pub fn run_cell(spec: &CellSpec, cfg: &CampaignConfig) -> CellReport {
         local_failsafe_entries,
         max_total_drug_mg: max_drug,
         min_spo2,
+        queue,
     }
 }
 
@@ -550,6 +574,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     let cells = parallel_map(grid, move |spec| run_cell(&spec, &cfg_ref));
     let total_violations = cells.iter().map(|c| c.violations).sum();
     let total_spurious = cells.iter().map(|c| c.spurious_degradations).sum();
+    let max_ready_depth = cells.iter().map(|c| c.queue.max_ready_depth).max().unwrap_or(0);
     CampaignReport {
         seed: cfg.seed,
         trials_per_cell: cfg.trials,
@@ -557,6 +582,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         cells,
         total_violations,
         total_spurious,
+        max_ready_depth,
     }
 }
 

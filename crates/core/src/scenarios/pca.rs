@@ -76,6 +76,11 @@ pub struct PcaScenarioConfig {
     pub supervisor_fault: FaultPlan,
     /// Ground-truth timeline sampling period in seconds (0 = off).
     pub timeline_every_secs: u64,
+    /// If `true`, export the kernel scheduler's timer-wheel counters
+    /// (occupancy per level, cascades, ready-ring depth) into the run
+    /// telemetry under the `sched.` prefix. Off by default so golden
+    /// outcome hashes recorded before this knob existed stay valid.
+    pub scheduler_telemetry: bool,
 }
 
 impl PcaScenarioConfig {
@@ -98,6 +103,7 @@ impl PcaScenarioConfig {
             standby_supervisor: false,
             supervisor_fault: FaultPlan::none(),
             timeline_every_secs: 0,
+            scheduler_telemetry: false,
         }
     }
 
@@ -459,6 +465,9 @@ pub fn run_pca_scenario(config: &PcaScenarioConfig) -> PcaScenarioOutcome {
     telemetry.incr("pump.local_failsafe_entries", pump_actor.local_failsafe_entries());
     telemetry.incr("pump.fenced_commands", pump_actor.fenced_commands());
     telemetry.incr("pump.double_actuations", pump_actor.double_actuations());
+    if config.scheduler_telemetry {
+        sim.scheduler().export_telemetry(&mut telemetry, "sched");
+    }
 
     PcaScenarioOutcome {
         frac_adequate_analgesia: patient_outcome.frac_adequate_analgesia,

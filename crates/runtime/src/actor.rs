@@ -5,6 +5,7 @@
 //! reacts by mutating its own state and scheduling further messages via
 //! the [`Context`].
 
+use crate::executor::MsgRun;
 use crate::kernel::Context;
 use serde::{Deserialize, Serialize};
 use std::any::Any;
@@ -88,6 +89,29 @@ impl<T: Any> AsAny for T {
 pub trait Actor<M>: AsAny {
     /// Handles one message delivered at the current simulation time.
     fn handle(&mut self, msg: M, ctx: &mut Context<'_, M>);
+
+    /// Handles a run of same-instant messages addressed to this actor,
+    /// in order. The kernel calls this once per run instead of once
+    /// per message.
+    ///
+    /// The default forwards each message to [`Self::handle`] and stops
+    /// early if the actor requests a stop — exactly what a
+    /// message-at-a-time loop would do. Because default trait methods
+    /// are monomorphized per implementation, those `handle` calls
+    /// resolve statically and inline, so the dynamic dispatch cost is
+    /// paid once per run, not once per message.
+    ///
+    /// Overrides must preserve those semantics: consume `msgs` front to
+    /// back, treat each message exactly as `handle` would, and return
+    /// early (leaving the rest unconsumed) once a stop is requested.
+    fn handle_run(&mut self, msgs: &mut MsgRun<'_, M>, ctx: &mut Context<'_, M>) {
+        for msg in msgs.by_ref() {
+            self.handle(msg, ctx);
+            if ctx.stop_requested() {
+                break;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

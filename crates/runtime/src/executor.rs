@@ -10,6 +10,7 @@ use crate::rng::{RngFactory, SimRng};
 use crate::scheduler::{Scheduled, Scheduler};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceLog;
+use std::collections::VecDeque;
 
 /// The capabilities an [`Actor`] may use while handling a message.
 ///
@@ -43,7 +44,21 @@ impl<M> Context<'_, M> {
     /// Delivers `msg` to `target` at the current time, after all events
     /// already queued for this instant.
     pub fn send(&mut self, target: ActorId, msg: M) {
-        self.schedule_at(self.now, target, msg);
+        // Dispatch always runs with the current instant open, so this
+        // can append straight to the ready ring, skipping the clamp
+        // and instant checks of the general scheduling path.
+        self.sched.push_now(target, msg);
+    }
+
+    /// Delivers a run of messages to `target` at the current time, in
+    /// iteration order, after all events already queued for this
+    /// instant. Equivalent to calling [`Self::send`] per message, but
+    /// the ready ring reserves space once for the whole run.
+    pub fn send_many<I>(&mut self, target: ActorId, msgs: I)
+    where
+        I: IntoIterator<Item = M>,
+    {
+        self.sched.push_now_many(target, msgs);
     }
 
     /// Delivers `msg` to `target` after `delay`.
@@ -90,6 +105,46 @@ impl<M> Context<'_, M> {
     /// Requests that the simulation stop after the current event.
     pub fn stop(&mut self) {
         self.sched.request_stop();
+    }
+
+    /// Whether a stop has been requested (by this actor or any other).
+    pub fn stop_requested(&self) -> bool {
+        self.sched.is_stopped()
+    }
+}
+
+/// A run of same-instant messages addressed to one actor, consumed
+/// front to back by [`Actor::handle_run`]. Wraps a drain of the
+/// kernel's batch buffer, so pulling a message moves it out without
+/// per-message queue bookkeeping.
+pub struct MsgRun<'a, M> {
+    inner: std::collections::vec_deque::Drain<'a, (ActorId, M)>,
+}
+
+impl<M> Iterator for MsgRun<'_, M> {
+    type Item = M;
+
+    /// The next message of the run, or `None` when the run is done.
+    #[inline]
+    fn next(&mut self) -> Option<M> {
+        self.inner.next().map(|(_, msg)| msg)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<M> MsgRun<'_, M> {
+    /// Messages not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Consumes the run, returning the unhandled tail (empty unless a
+    /// stop cut the run short). Allocation-free when nothing remains.
+    fn into_leftover(self) -> Vec<(ActorId, M)> {
+        self.inner.collect()
     }
 }
 
@@ -178,6 +233,66 @@ impl<M: 'static> Executor<M> {
             Context { now: ev.at, self_id: ev.target, sched, trace, rng: &mut self.rngs[idx] };
         actor.handle(ev.msg, &mut ctx);
         self.actors[idx] = Some(actor);
+    }
+
+    /// Delivers every event in `batch` (one open instant's ready ring,
+    /// swapped out by the kernel), chaining consecutive same-target
+    /// runs: the actor stays checked out and the [`Context`] is built
+    /// once per run, not once per event. Returns the number of events
+    /// consumed.
+    ///
+    /// `batch` is private to this call — actor sends during delivery go
+    /// to `sched`'s (empty) ring, never to `batch` — so a run's length
+    /// can be counted up front and its events popped unconditionally.
+    /// Delivery order is exactly the order a one-event-at-a-time loop
+    /// would produce. A stop request halts delivery after the current
+    /// event, leaving the remainder in `batch` for the kernel to
+    /// return to the queue.
+    pub fn dispatch_batch(
+        &mut self,
+        batch: &mut VecDeque<(ActorId, M)>,
+        now: SimTime,
+        sched: &mut Scheduler<M>,
+        trace: &mut TraceLog,
+    ) -> u64 {
+        let mut delivered = 0u64;
+        while !sched.is_stopped() {
+            let Some(&(target, _)) = batch.front() else {
+                break;
+            };
+            let idx = target.index() as usize;
+            let Some(mut actor) = self.actors.get_mut(idx).and_then(Option::take) else {
+                // Unknown target: drop the event, as `dispatch` does.
+                batch.pop_front();
+                delivered += 1;
+                continue;
+            };
+            let run = batch.iter().take_while(|(t, _)| *t == target).count();
+            let mut ctx = Context { now, self_id: target, sched, trace, rng: &mut self.rngs[idx] };
+            if run == 1 {
+                // Lone event (fan-out to distinct targets): a plain pop
+                // beats the run machinery's setup and teardown.
+                let (_, msg) = batch.pop_front().expect("front event is present");
+                actor.handle(msg, &mut ctx);
+                delivered += 1;
+                self.actors[idx] = Some(actor);
+                continue;
+            }
+            // One virtual `handle_run` call covers the whole run; the
+            // per-message `handle` calls inside it are static.
+            let mut msgs = MsgRun { inner: batch.drain(..run) };
+            actor.handle_run(&mut msgs, &mut ctx);
+            delivered += (run - msgs.remaining()) as u64;
+            // Empty unless a stop interrupted the run — dropping the
+            // drain would discard the unhandled tail, so collect it
+            // and put it back in front.
+            let rest = msgs.into_leftover();
+            for e in rest.into_iter().rev() {
+                batch.push_front(e);
+            }
+            self.actors[idx] = Some(actor);
+        }
+        delivered
     }
 }
 

@@ -5,8 +5,11 @@
 //! shard-parallel runner. Domain crates (`mcps-sim` and everything
 //! above it) build on these primitives.
 //!
-//! * [`scheduler`] — time-ordered event queue with FIFO tie-breaking
-//!   and batched same-instant delivery.
+//! * [`scheduler`] — hierarchical timer wheel with O(1) scheduling and
+//!   dispatch, FIFO tie-breaking within an instant, and a ready ring
+//!   for batched same-instant delivery (the binary-heap engine it
+//!   replaced survives as [`scheduler::reference`], the lockstep
+//!   conformance oracle).
 //! * [`executor`] — actor slab, per-actor deterministic RNG streams,
 //!   message dispatch ([`executor::Context`]).
 //! * [`kernel`] — [`kernel::Simulation`] joins the two behind the
@@ -15,8 +18,9 @@
 //! * [`telemetry`] — counters, histograms, time series and run
 //!   manifests; the single sink for run statistics, mergeable across
 //!   shards.
-//! * [`shard`] — [`shard::run_shards`], a deterministic parallel map
-//!   whose merged output is byte-identical to a serial run.
+//! * [`shard`] — [`shard::run_shards`] and [`shard::run_shards_with`],
+//!   a deterministic parallel map (optionally with per-worker reusable
+//!   state) whose merged output is byte-identical to a serial run.
 //! * [`time`], [`rng`], [`trace`], [`actor`] — the supporting
 //!   vocabulary types.
 //!
@@ -59,7 +63,7 @@ pub mod prelude {
     pub use crate::actor::{Actor, ActorId};
     pub use crate::kernel::{Context, Runtime, Simulation};
     pub use crate::rng::{RngFactory, SimRng};
-    pub use crate::shard::run_shards;
+    pub use crate::shard::{run_shards, run_shards_with};
     pub use crate::telemetry::{Summary, Telemetry};
     pub use crate::time::{SimDuration, SimTime};
 }

@@ -5,27 +5,61 @@
 //! flag. It knows nothing about actors — delivering an event to one is
 //! the [`Executor`](crate::executor::Executor)'s job.
 //!
-//! ## Batched same-instant delivery
+//! ## Hierarchical timer wheel + ready ring
 //!
 //! Delivery order is defined by the total order `(at, seq)` — earliest
-//! time first, FIFO within an instant. A naive implementation pushes
-//! every event through the binary heap, paying `O(log n)` twice per
-//! event even for the very common case of same-instant cascades
-//! (device → network controller → supervisor chains at one timestamp).
+//! time first, FIFO within an instant. The queue is a hierarchical
+//! timer wheel: [`LEVELS`] levels of 64 slots each, where a level-`j`
+//! slot spans `64^j` microseconds. An event due at `at` files into the
+//! *highest* level at which `at` and `now` differ (the most significant
+//! differing 6-bit digit of `at ^ now`), so near-term events land in
+//! level 0 — whose slots are exactly one microsecond wide — and
+//! far-future events (fault onsets, discharge times) land high up or,
+//! beyond the ~51-day horizon, in an overflow list. Each level keeps a
+//! 64-bit occupancy bitmap, so finding the next due slot is a couple of
+//! `trailing_zeros` instructions: schedule and pop are `O(1)` in the
+//! queue size, against the heap's `O(log n)` twice per event.
 //!
-//! The scheduler instead drains *all* events due at the current instant
-//! from the heap into a FIFO batch (`VecDeque`) in one go. While that
-//! instant is open, newly scheduled events that land on the current
-//! time are appended to the batch directly: their sequence numbers are
-//! globally maximal, so appending preserves exactly the `(at, seq)`
-//! order, and the heap — which after the drain holds only strictly
-//! later events — is never touched. Same-instant cascades therefore
-//! cost `O(1)` per event instead of `O(log n)`.
+//! When the earliest occupied slot sits at level `j > 0`, the clock
+//! advances to that slot's start and its events *cascade*: each refiles
+//! at a strictly lower level, so every event cascades at most
+//! `LEVELS - 1` times over its whole life. When it sits at level 0, the
+//! slot — all of whose events share one timestamp — drains into the
+//! **ready ring**, a preallocated `VecDeque` of bare `(target, msg)`
+//! pairs. While that instant is open, newly scheduled same-time events
+//! append to the ring directly (their sequence numbers are globally
+//! maximal, so appending preserves `(at, seq)` order) and the wheel is
+//! never touched: same-instant cascades — device → network controller →
+//! supervisor chains at one timestamp — cost a ring push and pop each,
+//! with no per-event allocation in steady state.
+//!
+//! ## Reference engine
+//!
+//! The original binary-heap engine survives as
+//! [`reference::ReferenceScheduler`], the semantic oracle the wheel is
+//! held to: the property suite in `tests/wheel_lockstep.rs` drives both
+//! through random schedule/pop/advance interleavings and demands
+//! identical clocks, lengths and pop sequences at every step.
 
 use crate::actor::ActorId;
+use crate::telemetry::Telemetry;
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
+
+pub mod reference;
+
+/// Bits per wheel digit: each level has `2^6 = 64` slots.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Low-6-bits mask, selecting a slot index within a level.
+const SLOT_MASK: u64 = (SLOTS as u64) - 1;
+/// Number of wheel levels. Level `j` slots span `64^j` µs; seven
+/// levels cover `64^7` µs ≈ 51 days, past which events overflow.
+pub const LEVELS: usize = 7;
+/// Bits of absolute time the wheel resolves (`6 * LEVELS`).
+const HORIZON_BITS: u32 = SLOT_BITS * LEVELS as u32;
 
 /// A queued event: deliver `msg` to `target` at time `at`.
 #[derive(Debug)]
@@ -58,21 +92,102 @@ impl<M> Ord for Scheduled<M> {
     }
 }
 
-/// The event-queue half of the simulation kernel.
-///
-/// Invariant (between [`Scheduler::pop_due`] calls while an instant is
-/// open): the heap contains only events with `at > now`; everything due
-/// at `now` sits in the FIFO batch.
+/// One wheel level: 64 slot buckets plus an occupancy bitmap.
 #[derive(Debug)]
+struct Level<M> {
+    /// Bit `s` set ⇔ `slots[s]` is non-empty.
+    occupied: u64,
+    /// Events currently resident at this level.
+    events: u32,
+    slots: Box<[Vec<Scheduled<M>>]>,
+}
+
+impl<M> Level<M> {
+    fn new() -> Self {
+        Level { occupied: 0, events: 0, slots: (0..SLOTS).map(|_| Vec::new()).collect() }
+    }
+}
+
+/// Counters describing wheel behaviour, for telemetry and the
+/// zero-allocation regression checks in `bench_runtime`.
+///
+/// `max_ready_depth` is sampled at dispatch boundaries (instant opens
+/// and chain-head pops) rather than maintained per push, keeping the
+/// ready-ring hot path bookkeeping-free; for batched workloads the
+/// sample lands right after the burst, so it tracks the true peak
+/// closely.
+#[derive(Debug, Clone, Default)]
+pub struct WheelStats {
+    /// Events scheduled into the wheel/overflow (timed schedulings;
+    /// open-instant fast-path sends bypass the counter and are counted
+    /// by the kernel's `events_processed` instead).
+    pub scheduled: u64,
+    /// Slot cascades (one occupied slot refiled to lower levels).
+    pub cascades: u64,
+    /// Events moved by cascades and clock-advance refiles.
+    pub refiled: u64,
+    /// Events filed beyond the wheel horizon into the overflow list.
+    pub overflow_filed: u64,
+    /// Level-0 slot drains that needed a FIFO repair sort (possible
+    /// only after interleaved cascades; counted to show how rare).
+    pub sort_repairs: u64,
+    /// High-water mark of the ready ring (sampled; see above).
+    pub max_ready_depth: usize,
+    /// Per-level high-water marks of resident events.
+    pub level_high_water: [u32; LEVELS],
+}
+
+/// The event-queue half of the simulation kernel (see the module docs
+/// for the wheel design).
+///
+/// Invariants between pops:
+/// * every wheel event has `at > now`, except level-0 events sharing
+///   the current instant while it is open — but those drain to the
+///   ring when the instant opens, so in practice `at > now` wheel-wide;
+/// * an event's slot index at its level differs from `now`'s digit at
+///   that level (restored by [`Scheduler::advance_to`] after clock
+///   jumps), which makes "earliest occupied slot of the lowest
+///   non-empty level" the global minimum;
+/// * everything due at `now` sits in the ready ring, in `(at, seq)`
+///   order.
 pub struct Scheduler<M> {
-    heap: BinaryHeap<Scheduled<M>>,
-    batch: VecDeque<Scheduled<M>>,
+    levels: [Level<M>; LEVELS],
+    /// Bit `j` set ⇔ `levels[j].occupied != 0`.
+    nonempty: u8,
+    /// The ready ring: events due at `now`, FIFO. Entries carry only
+    /// `(target, msg)` — their time is `now` and their relative order
+    /// is positional, so `at`/`seq` would be dead weight.
+    ring: VecDeque<(ActorId, M)>,
+    /// The only stored event, held outside the wheel entirely. Sparse
+    /// workloads (a lone periodic timer, one in-flight message) never
+    /// touch the filing/cascade machinery: the single event parks here
+    /// and is delivered directly. A second arrival demotes it into the
+    /// wheel through the normal path.
+    solo: Option<Scheduled<M>>,
+    /// Events beyond the wheel horizon (`at ^ now` ≥ 2^42 µs).
+    overflow: Vec<Scheduled<M>>,
+    /// Events stored in the wheel + overflow (the ready ring counts
+    /// itself), so the ring hot path carries no length bookkeeping.
+    stored: usize,
+    /// Global sequence counter; doubles as the scheduled-events stat.
     seq: u64,
     now: SimTime,
     stop: bool,
     /// True while events for the instant `now` are being delivered,
-    /// i.e. the heap has been drained for `now`.
+    /// i.e. the level-0 slot has been drained for `now`.
     instant_open: bool,
+    stats: WheelStats,
+}
+
+impl<M> std::fmt::Debug for Scheduler<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.pending())
+            .field("ring_depth", &self.ring.len())
+            .field("overflow", &self.overflow.len())
+            .finish()
+    }
 }
 
 impl<M> Default for Scheduler<M> {
@@ -85,12 +200,17 @@ impl<M> Scheduler<M> {
     /// Creates an empty scheduler at time zero.
     pub fn new() -> Self {
         Scheduler {
-            heap: BinaryHeap::new(),
-            batch: VecDeque::new(),
+            levels: std::array::from_fn(|_| Level::new()),
+            nonempty: 0,
+            ring: VecDeque::new(),
+            solo: None,
+            overflow: Vec::new(),
+            stored: 0,
             seq: 0,
             now: SimTime::ZERO,
             stop: false,
             instant_open: false,
+            stats: WheelStats::default(),
         }
     }
 
@@ -99,9 +219,9 @@ impl<M> Scheduler<M> {
         self.now
     }
 
-    /// Number of events queued (heap + current-instant batch).
+    /// Number of events queued (wheel + ready ring + overflow).
     pub fn pending(&self) -> usize {
-        self.heap.len() + self.batch.len()
+        self.stored + self.ring.len()
     }
 
     /// Whether a stop has been requested.
@@ -114,33 +234,326 @@ impl<M> Scheduler<M> {
         self.stop = true;
     }
 
-    /// The delivery time of the next queued event, if any.
+    /// Wheel behaviour counters accumulated since creation/[`Self::reset`].
+    pub fn stats(&self) -> WheelStats {
+        let mut s = self.stats.clone();
+        // Every accepted event bumps `seq` exactly once, so the
+        // counter doubles as the scheduled-events stat without a
+        // second hot-path increment.
+        s.scheduled = self.seq;
+        s
+    }
+
+    /// Files `ev` into the wheel (or overflow) relative to `now`.
+    /// `ev.at` must not be in the past.
+    fn file(&mut self, ev: Scheduled<M>) {
+        let at = ev.at.as_micros();
+        let now = self.now.as_micros();
+        debug_assert!(at >= now, "filing an event into the past");
+        let xor = at ^ now;
+        if xor >> HORIZON_BITS != 0 {
+            self.overflow.push(ev);
+            self.stats.overflow_filed += 1;
+            return;
+        }
+        // Highest differing 6-bit digit of `at` vs `now` picks the
+        // level; the event's own digit there picks the slot.
+        let level = if xor == 0 { 0 } else { ((63 - xor.leading_zeros()) / SLOT_BITS) as usize };
+        let slot = ((at >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+        let l = &mut self.levels[level];
+        l.slots[slot].push(ev);
+        l.occupied |= 1u64 << slot;
+        l.events += 1;
+        if l.events > self.stats.level_high_water[level] {
+            self.stats.level_high_water[level] = l.events;
+        }
+        self.nonempty |= 1 << level;
+    }
+
+    /// The delivery time of the next queued event, if any. Does not
+    /// advance the clock or cascade.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        if !self.batch.is_empty() {
+        if !self.ring.is_empty() {
             return Some(self.now);
         }
-        self.heap.peek().map(|ev| ev.at)
+        if let Some(ev) = &self.solo {
+            return Some(ev.at);
+        }
+        let now = self.now.as_micros();
+        for (level, l) in self.levels.iter().enumerate() {
+            if l.occupied == 0 {
+                continue;
+            }
+            let slot = u64::from(l.occupied.trailing_zeros());
+            if level == 0 {
+                // Level-0 slots are one microsecond wide: the slot
+                // index *is* the low digit of the delivery time.
+                return Some(SimTime::from_micros((now & !SLOT_MASK) | slot));
+            }
+            // Events in a coarser slot share only their upper digits;
+            // the earliest must be found by inspection.
+            return l.slots[slot as usize].iter().map(|e| e.at).min();
+        }
+        self.overflow.iter().map(|e| e.at).min()
+    }
+
+    /// A lower bound on [`Self::next_event_time`] computable without
+    /// inspecting any event: exact for ring, solo and level-0 events;
+    /// the containing slot's start for coarser slots; the next horizon
+    /// window's base for overflow events. O(1) regardless of how many
+    /// far-future events are parked.
+    fn next_event_floor(&self) -> Option<SimTime> {
+        if !self.ring.is_empty() {
+            return Some(self.now);
+        }
+        if let Some(ev) = &self.solo {
+            return Some(ev.at);
+        }
+        let now = self.now.as_micros();
+        for (level, l) in self.levels.iter().enumerate() {
+            if l.occupied == 0 {
+                continue;
+            }
+            let slot = u64::from(l.occupied.trailing_zeros());
+            if level == 0 {
+                return Some(SimTime::from_micros((now & !SLOT_MASK) | slot));
+            }
+            let width_mask = (1u64 << (SLOT_BITS * (level as u32 + 1))) - 1;
+            let slot_start = (now & !width_mask) | (slot << (SLOT_BITS * level as u32));
+            return Some(SimTime::from_micros(slot_start.max(now)));
+        }
+        if self.overflow.is_empty() {
+            None
+        } else {
+            Some(SimTime::from_micros(((now >> HORIZON_BITS) + 1) << HORIZON_BITS))
+        }
+    }
+
+    /// Whether an event is due at or before `deadline`. The cheap floor
+    /// answers most queries; only a deadline that lands inside the next
+    /// occupied slot's window needs the exact (slot-scanning) time —
+    /// this is what keeps deadline-bounded draining O(1) per call while
+    /// thousands of far-future events sit parked in coarse slots.
+    pub(crate) fn has_event_by(&self, deadline: SimTime) -> bool {
+        match self.next_event_floor() {
+            Some(floor) if floor <= deadline => {}
+            _ => return false,
+        }
+        matches!(self.next_event_time(), Some(t) if t <= deadline)
     }
 
     /// Schedules `msg` for `target` at absolute time `at`, clamped to
     /// the present if `at` is already past.
     pub fn schedule_at(&mut self, at: SimTime, target: ActorId, msg: M) {
         let at = at.max(self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        let ev = Scheduled { at, seq, target, msg };
         if self.instant_open && at == self.now {
-            // `seq` is globally maximal, so appending keeps the batch in
-            // `(at, seq)` order; the heap holds only later events.
-            self.batch.push_back(ev);
+            // Appending preserves `(at, seq)` order: ring order is
+            // positional and the wheel holds only later times.
+            self.ring.push_back((target, msg));
         } else {
-            self.heap.push(ev);
+            self.seq += 1;
+            let seq = self.seq;
+            self.stored += 1;
+            let ev = Scheduled { at, seq, target, msg };
+            if self.stored == 1 {
+                self.solo = Some(ev);
+            } else if let Some(prev) = self.solo.take() {
+                self.file(prev);
+                self.file(ev);
+            } else {
+                self.file(ev);
+            }
         }
     }
 
     /// Schedules `msg` for `target` after `delay` from now.
     pub fn schedule_after(&mut self, delay: SimDuration, target: ActorId, msg: M) {
         self.schedule_at(self.now.saturating_add(delay), target, msg);
+    }
+
+    /// Fast path for [`Context::send`](crate::executor::Context::send):
+    /// appends straight to the ready ring. Valid only while an instant
+    /// is open, which dispatch guarantees.
+    #[inline]
+    pub(crate) fn push_now(&mut self, target: ActorId, msg: M) {
+        debug_assert!(self.instant_open, "push_now outside an open instant");
+        // No seq: ring order is positional, and skipping the counter
+        // keeps the send fast path to a single deque append.
+        self.ring.push_back((target, msg));
+    }
+
+    /// Batch variant of [`Self::push_now`]: appends a run of messages
+    /// for one target in a single extend, reserving once.
+    #[inline]
+    pub(crate) fn push_now_many<I>(&mut self, target: ActorId, msgs: I)
+    where
+        I: IntoIterator<Item = M>,
+    {
+        debug_assert!(self.instant_open, "push_now outside an open instant");
+        self.ring.extend(msgs.into_iter().map(|msg| (target, msg)));
+    }
+
+    /// Whether the ready ring holds undelivered events for the open
+    /// instant.
+    #[inline]
+    pub(crate) fn ready_is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Swaps the ready ring into `scratch` (which must be empty), so
+    /// the kernel can drain an instant's events without per-event
+    /// scheduler calls while sends still append to the (now empty)
+    /// ring. The buffers trade places every batch, so both stay warm
+    /// and steady state allocates nothing.
+    #[inline]
+    pub(crate) fn take_ready(&mut self, scratch: &mut VecDeque<(ActorId, M)>) {
+        debug_assert!(scratch.is_empty(), "scratch buffer still holds events");
+        self.sample_ready_depth();
+        std::mem::swap(&mut self.ring, scratch);
+    }
+
+    /// Returns undelivered `scratch` events to the queue after a stop
+    /// interrupted a batch. The scratch events are older than anything
+    /// sent since the swap, so they go back in front. Cold path.
+    pub(crate) fn put_back_ready(&mut self, scratch: &mut VecDeque<(ActorId, M)>) {
+        scratch.extend(self.ring.drain(..));
+        std::mem::swap(&mut self.ring, scratch);
+    }
+
+    /// Advances the clock to the next occupied instant and drains its
+    /// events into the ready ring. Returns `false` if nothing is
+    /// queued. On `true`, the ring is non-empty and `now` is the
+    /// instant's timestamp.
+    pub(crate) fn open_next_instant(&mut self) -> bool {
+        loop {
+            if self.nonempty == 0 {
+                if let Some(ev) = self.solo.take() {
+                    // The lone stored event: deliver it directly.
+                    debug_assert!(self.overflow.is_empty(), "solo event beside overflow");
+                    debug_assert!(ev.at >= self.now, "event queue went backwards");
+                    self.stored -= 1;
+                    self.now = ev.at;
+                    self.instant_open = true;
+                    self.ring.push_back((ev.target, ev.msg));
+                    return true;
+                }
+                // Wheel empty: jump the clock to the earliest overflow
+                // event's horizon window and refile what fits.
+                if self.overflow.is_empty() {
+                    return false;
+                }
+                let min_at = self.overflow.iter().map(|e| e.at).min().expect("non-empty");
+                let base = SimTime::from_micros(min_at.as_micros() & !((1u64 << HORIZON_BITS) - 1));
+                debug_assert!(base > self.now, "overflow event inside the horizon");
+                self.now = base;
+                self.instant_open = false;
+                self.refile_overflow_in_range();
+                continue;
+            }
+            let level = self.nonempty.trailing_zeros() as usize;
+            let slot = self.levels[level].occupied.trailing_zeros() as usize;
+            let now = self.now.as_micros();
+            if level == 0 {
+                // All events in a level-0 slot share one timestamp.
+                let t = (now & !SLOT_MASK) | slot as u64;
+                debug_assert!(t >= now, "event queue went backwards");
+                self.now = SimTime::from_micros(t);
+                self.instant_open = true;
+                let l = &mut self.levels[0];
+                let v = &mut l.slots[slot];
+                // Cascades can interleave arrivals; restore FIFO by seq
+                // when (rarely) needed.
+                if !v.windows(2).all(|w| w[0].seq < w[1].seq) {
+                    v.sort_unstable_by_key(|e| e.seq);
+                    self.stats.sort_repairs += 1;
+                }
+                l.events -= v.len() as u32;
+                l.occupied &= !(1u64 << slot);
+                if l.occupied == 0 {
+                    self.nonempty &= !1;
+                }
+                self.stored -= v.len();
+                for ev in v.drain(..) {
+                    debug_assert!(ev.at == self.now, "level-0 slot mixes instants");
+                    self.ring.push_back((ev.target, ev.msg));
+                }
+                self.sample_ready_depth();
+                return true;
+            }
+            if self.levels[level].slots[slot].len() == 1 {
+                // Singleton fast path — the dominant shape for sparse
+                // periodic queues: the slot's lone event is the global
+                // minimum (level invariant), so deliver it directly
+                // instead of cascading it down level by level.
+                let l = &mut self.levels[level];
+                let ev = l.slots[slot].pop().expect("occupied slot is non-empty");
+                l.events -= 1;
+                l.occupied &= !(1u64 << slot);
+                if l.occupied == 0 {
+                    self.nonempty &= !(1 << level);
+                }
+                debug_assert!(ev.at.as_micros() > now, "stale slot survived advance_to");
+                self.stored -= 1;
+                self.now = ev.at;
+                self.instant_open = true;
+                self.ring.push_back((ev.target, ev.msg));
+                return true;
+            }
+            // Coarser slot first: advance to its start and cascade its
+            // events down. Each refiles at a strictly lower level (its
+            // digit at `level` now matches the clock's), so this loop
+            // terminates in at most LEVELS rounds.
+            let width_mask = (1u64 << (SLOT_BITS * (level as u32 + 1))) - 1;
+            let slot_start = (now & !width_mask) | ((slot as u64) << (SLOT_BITS * level as u32));
+            debug_assert!(slot_start > now, "stale slot survived advance_to");
+            self.now = SimTime::from_micros(slot_start);
+            self.instant_open = false;
+            self.cascade_slot(level, slot);
+        }
+    }
+
+    /// Records the current ring depth into the high-water stat. Called
+    /// at dispatch boundaries, not per push (see [`WheelStats`]).
+    fn sample_ready_depth(&mut self) {
+        if self.ring.len() > self.stats.max_ready_depth {
+            self.stats.max_ready_depth = self.ring.len();
+        }
+    }
+
+    /// Empties `slots[slot]` of `level`, refiling each event relative
+    /// to the (already advanced) clock.
+    fn cascade_slot(&mut self, level: usize, slot: usize) {
+        let l = &mut self.levels[level];
+        l.events -= l.slots[slot].len() as u32;
+        l.occupied &= !(1u64 << slot);
+        if l.occupied == 0 {
+            self.nonempty &= !(1 << level);
+        }
+        // Take the bucket to appease the borrow checker; swap it back
+        // afterwards so its capacity is never lost.
+        let mut v = std::mem::take(&mut self.levels[level].slots[slot]);
+        self.stats.cascades += 1;
+        self.stats.refiled += v.len() as u64;
+        for ev in v.drain(..) {
+            self.file(ev);
+        }
+        self.levels[level].slots[slot] = v;
+    }
+
+    /// Refiles overflow events that the clock's horizon window now
+    /// covers.
+    fn refile_overflow_in_range(&mut self) {
+        let now = self.now.as_micros();
+        let mut i = 0;
+        while i < self.overflow.len() {
+            if (self.overflow[i].at.as_micros() ^ now) >> HORIZON_BITS == 0 {
+                let ev = self.overflow.swap_remove(i);
+                self.stats.refiled += 1;
+                self.file(ev);
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// Removes and returns the next due event, advancing the clock to
@@ -150,36 +563,96 @@ impl<M> Scheduler<M> {
         if self.stop {
             return None;
         }
-        if let Some(ev) = self.batch.pop_front() {
-            return Some(ev);
+        if let Some((target, msg)) = self.ring.pop_front() {
+            return Some(Scheduled { at: self.now, seq: 0, target, msg });
         }
-        // Open the next instant: advance to the earliest heap event and
-        // drain everything that shares its timestamp into the batch.
-        // The heap yields equal-time events in ascending `seq`, so the
-        // batch comes out FIFO.
-        let first = self.heap.pop()?;
-        debug_assert!(first.at >= self.now, "event queue went backwards");
-        self.now = first.at;
-        self.instant_open = true;
-        while let Some(next) = self.heap.peek() {
-            if next.at != self.now {
-                break;
-            }
-            let next = self.heap.pop().expect("peeked event exists");
-            self.batch.push_back(next);
+        if !self.open_next_instant() {
+            return None;
         }
-        Some(first)
+        let (target, msg) = self.ring.pop_front().expect("opened instant is non-empty");
+        Some(Scheduled { at: self.now, seq: 0, target, msg })
+    }
+
+    /// [`Self::pop_due`] bounded by `deadline`: returns `None` (without
+    /// advancing the clock) when the next event is later than
+    /// `deadline` or absent.
+    pub fn pop_due_until(&mut self, deadline: SimTime) -> Option<Scheduled<M>> {
+        if self.has_event_by(deadline) {
+            self.pop_due()
+        } else {
+            None
+        }
     }
 
     /// Advances the clock to `deadline` with no events to deliver (used
     /// by `run_until` when the queue holds nothing before the deadline).
     /// Closes the current instant: later same-time schedules go through
-    /// the heap again.
+    /// the wheel again.
     pub fn advance_to(&mut self, deadline: SimTime) {
-        debug_assert!(self.batch.is_empty(), "advancing over undelivered events");
-        if deadline > self.now {
-            self.now = deadline;
-            self.instant_open = false;
+        debug_assert!(self.ring.is_empty(), "advancing over undelivered events");
+        if deadline <= self.now {
+            return;
+        }
+        self.now = deadline;
+        self.instant_open = false;
+        if self.stored == 0 {
+            return;
+        }
+        // Restore the filing invariant: any slot whose index equals the
+        // new clock's digit at that level holds events that belong at a
+        // lower level now — left in place they would pop *after* nearer
+        // events filed below them. (Delivery-driven advances can't
+        // create this state; only jumps across idle time can.)
+        let now = deadline.as_micros();
+        for level in 1..LEVELS {
+            let digit = ((now >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+            if self.levels[level].occupied & (1u64 << digit) != 0 {
+                self.cascade_slot(level, digit);
+            }
+        }
+        self.refile_overflow_in_range();
+    }
+
+    /// Clears all state back to time zero while retaining every
+    /// allocation (slot buckets, ready ring, overflow list), so a
+    /// reused scheduler reaches steady state allocation-free.
+    pub fn reset(&mut self) {
+        for l in &mut self.levels {
+            if l.occupied != 0 {
+                for s in l.slots.iter_mut() {
+                    s.clear();
+                }
+            }
+            l.occupied = 0;
+            l.events = 0;
+        }
+        self.nonempty = 0;
+        self.ring.clear();
+        self.solo = None;
+        self.overflow.clear();
+        self.stored = 0;
+        self.seq = 0;
+        self.now = SimTime::ZERO;
+        self.stop = false;
+        self.instant_open = false;
+        self.stats = WheelStats::default();
+    }
+
+    /// Publishes the wheel counters onto a [`Telemetry`] bus under
+    /// `prefix`. Monotone counts go out as counters (merge by
+    /// addition); high-water marks as histogram observations, whose
+    /// summary max survives cross-shard merges.
+    pub fn export_telemetry(&self, bus: &mut Telemetry, prefix: &str) {
+        bus.incr(&format!("{prefix}.events_scheduled"), self.seq);
+        bus.incr(&format!("{prefix}.cascades"), self.stats.cascades);
+        bus.incr(&format!("{prefix}.events_refiled"), self.stats.refiled);
+        bus.incr(&format!("{prefix}.overflow_filed"), self.stats.overflow_filed);
+        bus.incr(&format!("{prefix}.sort_repairs"), self.stats.sort_repairs);
+        bus.observe(&format!("{prefix}.max_ready_depth"), self.stats.max_ready_depth as f64);
+        for (level, &hw) in self.stats.level_high_water.iter().enumerate() {
+            if hw > 0 {
+                bus.observe(&format!("{prefix}.level{level}_peak_events"), f64::from(hw));
+            }
         }
     }
 }
@@ -194,6 +667,10 @@ mod tests {
             out.push((ev.at, ev.msg));
         }
         out
+    }
+
+    fn wheel_events<M>(s: &Scheduler<M>) -> usize {
+        s.levels.iter().map(|l| l.events as usize).sum()
     }
 
     #[test]
@@ -216,7 +693,7 @@ mod tests {
     }
 
     #[test]
-    fn same_instant_sends_go_to_open_batch() {
+    fn same_instant_sends_go_to_open_ring() {
         let mut s = Scheduler::new();
         let a = ActorId::from_index(0);
         s.schedule_at(SimTime::from_secs(1), a, 1);
@@ -224,9 +701,9 @@ mod tests {
         let first = s.pop_due().unwrap();
         assert_eq!(first.msg, 1);
         // A cascade send while instant 1s is open: must come after msg 2
-        // but before any later event, without touching the heap.
+        // but before any later event, without touching the wheel.
         s.schedule_at(s.now(), a, 3);
-        assert_eq!(s.heap.len(), 0);
+        assert_eq!(wheel_events(&s), 0);
         assert_eq!(s.pop_due().unwrap().msg, 2);
         assert_eq!(s.pop_due().unwrap().msg, 3);
     }
@@ -270,7 +747,7 @@ mod tests {
     }
 
     #[test]
-    fn next_event_time_sees_batch_and_heap() {
+    fn next_event_time_sees_ring_and_wheel() {
         let mut s: Scheduler<u32> = Scheduler::new();
         let a = ActorId::from_index(0);
         assert_eq!(s.next_event_time(), None);
@@ -278,7 +755,96 @@ mod tests {
         assert_eq!(s.next_event_time(), Some(SimTime::from_secs(3)));
         s.schedule_at(SimTime::from_secs(3), a, 2);
         s.pop_due().unwrap();
-        // msg 2 now sits in the open batch.
+        // msg 2 now sits in the open ring.
         assert_eq!(s.next_event_time(), Some(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn far_future_event_crosses_every_level() {
+        let mut s = Scheduler::new();
+        let a = ActorId::from_index(0);
+        // ~48 days out: lands at the top wheel level, then cascades.
+        // Two events in the same coarse slot defeat the singleton
+        // direct-delivery fast path, forcing a real cascade chain.
+        let far = SimTime::from_micros(48 * 24 * 3600 * 1_000_000);
+        let far2 = SimTime::from_micros(48 * 24 * 3600 * 1_000_000 + 7);
+        s.schedule_at(far, a, 1);
+        s.schedule_at(far2, a, 3);
+        s.schedule_at(SimTime::from_micros(1), a, 2);
+        assert_eq!(s.next_event_time(), Some(SimTime::from_micros(1)));
+        assert_eq!(drain_order(&mut s), vec![(SimTime::from_micros(1), 2), (far, 1), (far2, 3)]);
+        assert!(s.stats().cascades > 0, "co-sloted 48-day events must cascade");
+    }
+
+    #[test]
+    fn beyond_horizon_goes_to_overflow_and_back() {
+        let mut s = Scheduler::new();
+        let a = ActorId::from_index(0);
+        // 100 days: beyond the 64^7 µs ≈ 51-day horizon. A second
+        // event demotes the first out of the solo slot so it actually
+        // exercises the overflow list.
+        let huge = SimTime::from_micros(100 * 24 * 3600 * 1_000_000);
+        s.schedule_at(huge, a, 9);
+        assert_eq!(s.stats().overflow_filed, 0, "a lone event parks in the solo slot");
+        s.schedule_at(SimTime::from_secs(1), a, 1);
+        assert_eq!(s.stats().overflow_filed, 1);
+        assert_eq!(s.next_event_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(s.pop_due().unwrap().msg, 1);
+        let ev = s.pop_due().unwrap();
+        assert_eq!((ev.at, ev.msg), (huge, 9));
+        assert_eq!(s.now(), huge);
+    }
+
+    #[test]
+    fn advance_refiles_stale_slots() {
+        let mut s = Scheduler::new();
+        let a = ActorId::from_index(0);
+        // File an event, then jump the clock so its slot index equals
+        // the new clock digit at its level (the "stale slot" hazard):
+        // a later-scheduled nearer event must still pop first.
+        s.schedule_at(SimTime::from_micros(0x125), a, 1);
+        s.advance_to(SimTime::from_micros(0x121));
+        s.schedule_at(SimTime::from_micros(0x123), a, 2);
+        assert_eq!(
+            drain_order(&mut s),
+            vec![(SimTime::from_micros(0x123), 2), (SimTime::from_micros(0x125), 1)]
+        );
+    }
+
+    #[test]
+    fn reset_retains_capacity_and_restarts_clock() {
+        let mut s = Scheduler::new();
+        let a = ActorId::from_index(0);
+        for i in 0..100u32 {
+            s.schedule_at(SimTime::from_millis(u64::from(i)), a, i);
+        }
+        while s.pop_due().is_some() {}
+        s.reset();
+        assert_eq!(s.now(), SimTime::ZERO);
+        assert_eq!(s.pending(), 0);
+        s.schedule_at(SimTime::from_millis(1), a, 7);
+        assert_eq!(s.pop_due().unwrap().msg, 7);
+    }
+
+    #[test]
+    fn pop_due_until_respects_deadline() {
+        let mut s = Scheduler::new();
+        let a = ActorId::from_index(0);
+        s.schedule_at(SimTime::from_secs(5), a, 1);
+        assert!(s.pop_due_until(SimTime::from_secs(4)).is_none());
+        assert_eq!(s.now(), SimTime::ZERO, "failed bounded pop must not move the clock");
+        assert_eq!(s.pop_due_until(SimTime::from_secs(5)).unwrap().msg, 1);
+    }
+
+    #[test]
+    fn telemetry_export_names_are_stable() {
+        let mut s = Scheduler::new();
+        let a = ActorId::from_index(0);
+        s.schedule_at(SimTime::from_secs(1), a, 1u32);
+        s.pop_due().unwrap();
+        let mut bus = Telemetry::new();
+        s.export_telemetry(&mut bus, "sched");
+        assert_eq!(bus.counter("sched.events_scheduled"), 1);
+        assert!(bus.histogram("sched.max_ready_depth").is_some());
     }
 }

@@ -1,0 +1,210 @@
+//! The binary-heap reference engine.
+//!
+//! [`ReferenceScheduler`] is the original `O(log n)` event queue the
+//! timer wheel replaced. It stays in-tree as the semantic oracle: the
+//! wheel is held to lockstep equality against it by unit tests here
+//! and by the property suite in `tests/wheel_lockstep.rs`, the same
+//! discipline the packed checker and the dense network fabric follow
+//! against their reference engines.
+//!
+//! Delivery order is the total order `(at, seq)` — earliest time
+//! first, FIFO within an instant. The heap drains all events due at
+//! the current instant into a FIFO batch in one go; while that instant
+//! is open, newly scheduled same-time events append to the batch
+//! directly (their sequence numbers are globally maximal), so the heap
+//! holds only strictly later events.
+
+use super::Scheduled;
+use crate::actor::ActorId;
+use crate::time::{SimDuration, SimTime};
+use std::collections::{BinaryHeap, VecDeque};
+
+/// The heap-based reference event queue (see the module docs).
+#[derive(Debug)]
+pub struct ReferenceScheduler<M> {
+    heap: BinaryHeap<Scheduled<M>>,
+    batch: VecDeque<Scheduled<M>>,
+    seq: u64,
+    now: SimTime,
+    stop: bool,
+    /// True while events for the instant `now` are being delivered,
+    /// i.e. the heap has been drained for `now`.
+    instant_open: bool,
+}
+
+impl<M> Default for ReferenceScheduler<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> ReferenceScheduler<M> {
+    /// Creates an empty scheduler at time zero.
+    pub fn new() -> Self {
+        ReferenceScheduler {
+            heap: BinaryHeap::new(),
+            batch: VecDeque::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            stop: false,
+            instant_open: false,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events queued (heap + current-instant batch).
+    pub fn pending(&self) -> usize {
+        self.heap.len() + self.batch.len()
+    }
+
+    /// Whether a stop has been requested.
+    pub fn is_stopped(&self) -> bool {
+        self.stop
+    }
+
+    /// Requests that the run stop after the event being processed.
+    pub fn request_stop(&mut self) {
+        self.stop = true;
+    }
+
+    /// The delivery time of the next queued event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        if !self.batch.is_empty() {
+            return Some(self.now);
+        }
+        self.heap.peek().map(|ev| ev.at)
+    }
+
+    /// Schedules `msg` for `target` at absolute time `at`, clamped to
+    /// the present if `at` is already past.
+    pub fn schedule_at(&mut self, at: SimTime, target: ActorId, msg: M) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        let ev = Scheduled { at, seq, target, msg };
+        if self.instant_open && at == self.now {
+            // `seq` is globally maximal, so appending keeps the batch in
+            // `(at, seq)` order; the heap holds only later events.
+            self.batch.push_back(ev);
+        } else {
+            self.heap.push(ev);
+        }
+    }
+
+    /// Schedules `msg` for `target` after `delay` from now.
+    pub fn schedule_after(&mut self, delay: SimDuration, target: ActorId, msg: M) {
+        self.schedule_at(self.now.saturating_add(delay), target, msg);
+    }
+
+    /// Removes and returns the next due event, advancing the clock to
+    /// its timestamp. Returns `None` if the queue is empty or a stop was
+    /// requested.
+    pub fn pop_due(&mut self) -> Option<Scheduled<M>> {
+        if self.stop {
+            return None;
+        }
+        if let Some(ev) = self.batch.pop_front() {
+            return Some(ev);
+        }
+        // Open the next instant: advance to the earliest heap event and
+        // drain everything that shares its timestamp into the batch.
+        // The heap yields equal-time events in ascending `seq`, so the
+        // batch comes out FIFO.
+        let first = self.heap.pop()?;
+        debug_assert!(first.at >= self.now, "event queue went backwards");
+        self.now = first.at;
+        self.instant_open = true;
+        while let Some(next) = self.heap.peek() {
+            if next.at != self.now {
+                break;
+            }
+            let next = self.heap.pop().expect("peeked event exists");
+            self.batch.push_back(next);
+        }
+        Some(first)
+    }
+
+    /// [`Self::pop_due`] bounded by `deadline`: returns `None` (without
+    /// advancing the clock) when the next event is later than
+    /// `deadline` or absent.
+    pub fn pop_due_until(&mut self, deadline: SimTime) -> Option<Scheduled<M>> {
+        match self.next_event_time() {
+            Some(t) if t <= deadline => self.pop_due(),
+            _ => None,
+        }
+    }
+
+    /// Advances the clock to `deadline` with no events to deliver (used
+    /// by `run_until` when the queue holds nothing before the deadline).
+    /// Closes the current instant: later same-time schedules go through
+    /// the heap again.
+    pub fn advance_to(&mut self, deadline: SimTime) {
+        debug_assert!(self.batch.is_empty(), "advancing over undelivered events");
+        if deadline > self.now {
+            self.now = deadline;
+            self.instant_open = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_order(sched: &mut ReferenceScheduler<u32>) -> Vec<(SimTime, u32)> {
+        let mut out = Vec::new();
+        while let Some(ev) = sched.pop_due() {
+            out.push((ev.at, ev.msg));
+        }
+        out
+    }
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut s = ReferenceScheduler::new();
+        let a = ActorId::from_index(0);
+        s.schedule_at(SimTime::from_secs(2), a, 10);
+        s.schedule_at(SimTime::from_secs(1), a, 20);
+        s.schedule_at(SimTime::from_secs(2), a, 11);
+        s.schedule_at(SimTime::from_secs(1), a, 21);
+        assert_eq!(
+            drain_order(&mut s),
+            vec![
+                (SimTime::from_secs(1), 20),
+                (SimTime::from_secs(1), 21),
+                (SimTime::from_secs(2), 10),
+                (SimTime::from_secs(2), 11),
+            ]
+        );
+    }
+
+    #[test]
+    fn same_instant_sends_go_to_open_batch() {
+        let mut s = ReferenceScheduler::new();
+        let a = ActorId::from_index(0);
+        s.schedule_at(SimTime::from_secs(1), a, 1);
+        s.schedule_at(SimTime::from_secs(1), a, 2);
+        let first = s.pop_due().unwrap();
+        assert_eq!(first.msg, 1);
+        // A cascade send while instant 1s is open: must come after msg 2
+        // but before any later event, without touching the heap.
+        s.schedule_at(s.now(), a, 3);
+        assert_eq!(s.heap.len(), 0);
+        assert_eq!(s.pop_due().unwrap().msg, 2);
+        assert_eq!(s.pop_due().unwrap().msg, 3);
+    }
+
+    #[test]
+    fn pop_due_until_respects_deadline() {
+        let mut s = ReferenceScheduler::new();
+        let a = ActorId::from_index(0);
+        s.schedule_at(SimTime::from_secs(5), a, 1);
+        assert!(s.pop_due_until(SimTime::from_secs(4)).is_none());
+        assert_eq!(s.now(), SimTime::ZERO, "failed bounded pop must not move the clock");
+        assert_eq!(s.pop_due_until(SimTime::from_secs(5)).unwrap().msg, 1);
+    }
+}

@@ -16,7 +16,9 @@
 //! Under those rules, `run_shards(items, f)` is observationally
 //! equivalent to `items.into_iter().map(f).collect()` — verified by
 //! property tests at the workspace level — while using one thread per
-//! core. Telemetry from shards should be collected per-shard and
+//! core. [`run_shards_with`] adds per-worker reusable state (scratch
+//! buffers that survive across the shard runs of one worker) under the
+//! same contract. Telemetry from shards should be collected per-shard and
 //! folded with [`Telemetry::merge`](crate::telemetry::Telemetry::merge)
 //! after the join, which keeps the merged bus deterministic too.
 
@@ -40,10 +42,35 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    run_shards_with(items, || (), move |(), item| f(item))
+}
+
+/// [`run_shards`] with per-worker reusable state: `init` runs once on
+/// each worker thread and the resulting value is threaded through every
+/// shard that worker executes.
+///
+/// Use this to reuse expensive buffers (scratch vectors, arena
+/// allocations) across the shard runs of one worker without sharing
+/// them between workers. The determinism contract is unchanged —
+/// `f` must produce output that is a pure function of the item, so the
+/// state may only carry *capacity* (allocations), never values that
+/// leak from one shard into the next.
+///
+/// # Panics
+///
+/// Propagates a panic from `init` or `f` after all workers finish.
+pub fn run_shards_with<T, R, S, I, F>(items: Vec<T>, init: I, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let workers = workers.min(items.len());
     if workers <= 1 {
-        return items.into_iter().map(f).collect();
+        let mut state = init();
+        return items.into_iter().map(|item| f(&mut state, item)).collect();
     }
 
     let n = items.len();
@@ -56,18 +83,21 @@ where
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= n {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let item = work[idx]
+                        .lock()
+                        .expect("work slot poisoned")
+                        .take()
+                        .expect("work item taken twice");
+                    let result = f(&mut state, item);
+                    *slots[idx].lock().expect("result slot poisoned") = Some(result);
                 }
-                let item = work[idx]
-                    .lock()
-                    .expect("work slot poisoned")
-                    .take()
-                    .expect("work item taken twice");
-                let result = f(item);
-                *slots[idx].lock().expect("result slot poisoned") = Some(result);
             });
         }
     });
@@ -113,6 +143,29 @@ mod tests {
         x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
         x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
         x ^ (x >> 31)
+    }
+
+    #[test]
+    fn with_state_reuses_buffers_per_worker() {
+        // Each worker's scratch buffer is reused across its shard runs:
+        // results must still equal the serial map, and the buffer must
+        // actually be used (capacity grows once, contents reset).
+        let items: Vec<u64> = (0..32).collect();
+        let serial: Vec<u64> = items.iter().map(|&s| splitmix(s)).collect();
+        let parallel = run_shards_with(items, Vec::<u64>::new, |buf, item| {
+            buf.clear();
+            buf.extend((0..8).map(|k| splitmix(item ^ k)));
+            splitmix(item)
+        });
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn with_state_serial_fallback_threads_state() {
+        // One item -> serial path; state must still be initialized and
+        // passed through.
+        let out = run_shards_with(vec![5u32], || 10u32, |s, x| x + *s);
+        assert_eq!(out, vec![15]);
     }
 
     #[test]

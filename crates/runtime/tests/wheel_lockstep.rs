@@ -1,0 +1,205 @@
+//! Lockstep conformance: the timer-wheel scheduler against the
+//! binary-heap reference engine.
+//!
+//! Random interleavings of schedule/pop/bounded-pop/advance/peek are
+//! replayed against both engines simultaneously; after every operation
+//! the clocks, queue lengths, `next_event_time` answers and full pop
+//! results `(at, target, msg)` must match exactly. Messages are unique
+//! per scheduled event, so a pop mismatch cannot hide behind equal
+//! payloads. The op mix deliberately covers the wheel's hard cases:
+//! same-instant bursts into an open instant, far-future events that
+//! cascade across several levels, beyond-horizon events that sit in
+//! the overflow list, and clock jumps that strand events in stale
+//! slots.
+
+use mcps_runtime::scheduler::reference::ReferenceScheduler;
+use mcps_runtime::scheduler::Scheduler;
+use mcps_runtime::{ActorId, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// One step of the driver, decoded from a raw `(op, a, b)` tuple.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Schedule at `now + delta` for a target derived from `b`.
+    Schedule { delta: u64, target: u32 },
+    /// Pop the next due event.
+    Pop,
+    /// Pop bounded by `now + delta`.
+    PopUntil { delta: u64 },
+    /// Advance the clock toward `now + delta` (clamped to stay valid).
+    Advance { delta: u64 },
+    /// Compare `next_event_time` only.
+    Peek,
+}
+
+fn decode(op: u8, a: u64, b: u64) -> Op {
+    match op % 16 {
+        // Heavily weight schedules so queues actually fill up.
+        0..=2 => Op::Schedule { delta: a % 64, target: (b % 5) as u32 },
+        3 | 4 => Op::Schedule { delta: a % 5_000, target: (b % 5) as u32 },
+        5 => Op::Schedule { delta: a % 10_000_000_000, target: (b % 5) as u32 },
+        // Far enough to cross the top wheel levels and the ~51-day
+        // horizon (2^42 µs ≈ 4.4e12).
+        6 => Op::Schedule { delta: a % 9_000_000_000_000, target: (b % 5) as u32 },
+        7..=10 => Op::Pop,
+        11 | 12 => Op::PopUntil { delta: a % 100_000 },
+        13 | 14 => Op::Advance { delta: a % 1_000_000 },
+        _ => Op::Peek,
+    }
+}
+
+struct Lockstep {
+    wheel: Scheduler<u64>,
+    heap: ReferenceScheduler<u64>,
+    next_msg: u64,
+}
+
+impl Lockstep {
+    fn new() -> Self {
+        Lockstep { wheel: Scheduler::new(), heap: ReferenceScheduler::new(), next_msg: 0 }
+    }
+
+    fn check(&self) -> Result<(), TestCaseError> {
+        prop_assert_eq!(self.wheel.now(), self.heap.now(), "clock divergence");
+        prop_assert_eq!(self.wheel.pending(), self.heap.pending(), "queue length divergence");
+        prop_assert_eq!(
+            self.wheel.next_event_time(),
+            self.heap.next_event_time(),
+            "next_event_time divergence"
+        );
+        Ok(())
+    }
+
+    fn apply(&mut self, op: Op) -> Result<(), TestCaseError> {
+        match op {
+            Op::Schedule { delta, target } => {
+                let at = self.wheel.now().saturating_add(SimDuration::from_micros(delta));
+                let msg = self.next_msg;
+                self.next_msg += 1;
+                self.wheel.schedule_at(at, ActorId::from_index(target), msg);
+                self.heap.schedule_at(at, ActorId::from_index(target), msg);
+            }
+            Op::Pop => {
+                let w = self.wheel.pop_due().map(|e| (e.at, e.target, e.msg));
+                let h = self.heap.pop_due().map(|e| (e.at, e.target, e.msg));
+                prop_assert_eq!(w, h, "pop divergence");
+            }
+            Op::PopUntil { delta } => {
+                let deadline = self.wheel.now().saturating_add(SimDuration::from_micros(delta));
+                let w = self.wheel.pop_due_until(deadline).map(|e| (e.at, e.target, e.msg));
+                let h = self.heap.pop_due_until(deadline).map(|e| (e.at, e.target, e.msg));
+                prop_assert_eq!(w, h, "bounded pop divergence");
+            }
+            Op::Advance { delta } => {
+                // `advance_to` requires no undelivered events at or
+                // before the target — the kernel only calls it after
+                // draining them — so clamp to the next event time.
+                let mut t = self.wheel.now().saturating_add(SimDuration::from_micros(delta));
+                if let Some(next) = self.wheel.next_event_time() {
+                    t = t.min(next);
+                }
+                // A clamp to `now` means the ready queue still holds
+                // undelivered events; the kernel never advances then.
+                if t > self.wheel.now() {
+                    self.wheel.advance_to(t);
+                    self.heap.advance_to(t);
+                }
+            }
+            Op::Peek => {}
+        }
+        self.check()
+    }
+
+    fn drain(&mut self) -> Result<(), TestCaseError> {
+        loop {
+            let w = self.wheel.pop_due().map(|e| (e.at, e.target, e.msg));
+            let h = self.heap.pop_due().map(|e| (e.at, e.target, e.msg));
+            prop_assert_eq!(w, h, "drain divergence");
+            self.check()?;
+            if w.is_none() {
+                return Ok(());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random op soup: every engine-visible observation must match at
+    /// every step, and a full drain at the end must agree event for
+    /// event.
+    fn wheel_matches_heap_on_random_ops(
+        ops in proptest::collection::vec((0u8..16, 0u64..u64::MAX, 0u64..64), 0..300),
+    ) {
+        let mut rig = Lockstep::new();
+        for (op, a, b) in ops {
+            rig.apply(decode(op, a, b))?;
+        }
+        rig.drain()?;
+    }
+
+    /// Same-instant bursts: schedule into the open instant mid-drain
+    /// and interleave pops, the executor's cascade pattern.
+    fn open_instant_bursts_stay_fifo(
+        rounds in proptest::collection::vec((1u64..64, 0u64..4), 1..40),
+    ) {
+        let mut rig = Lockstep::new();
+        let mut due = 0u64;
+        for (burst, gap) in rounds {
+            due += gap;
+            let at = SimTime::from_micros(due);
+            for _ in 0..burst {
+                let msg = rig.next_msg;
+                rig.next_msg += 1;
+                rig.wheel.schedule_at(at, ActorId::from_index(0), msg);
+                rig.heap.schedule_at(at, ActorId::from_index(0), msg);
+            }
+            // Pop one (opening the instant), burst into it, then pop
+            // roughly half before the next round piles on.
+            for _ in 0..burst / 2 + 1 {
+                rig.apply(Op::Pop)?;
+                rig.apply(Op::Schedule { delta: 0, target: 1 })?;
+            }
+        }
+        rig.drain()?;
+    }
+
+    /// Far-future cascades: events spread across every wheel level and
+    /// the overflow list, drained via deadline-bounded pops (the
+    /// `run_until` path).
+    fn cascades_and_horizon_overflow_drain_in_order(
+        deltas in proptest::collection::vec(0u64..9_000_000_000_000, 1..60),
+        stride in 1_000_000u64..1_000_000_000,
+    ) {
+        let mut rig = Lockstep::new();
+        for (i, d) in deltas.iter().enumerate() {
+            let at = SimTime::from_micros(*d);
+            rig.wheel.schedule_at(at, ActorId::from_index((i % 3) as u32), i as u64);
+            rig.heap.schedule_at(at, ActorId::from_index((i % 3) as u32), i as u64);
+            rig.check()?;
+        }
+        // Sweep time forward in strides, draining due events exactly
+        // like `run_until` does, then drain the tail.
+        for k in 1..=20u64 {
+            let deadline = SimTime::from_micros(k * stride);
+            loop {
+                let w = rig.wheel.pop_due_until(deadline).map(|e| (e.at, e.target, e.msg));
+                let h = rig.heap.pop_due_until(deadline).map(|e| (e.at, e.target, e.msg));
+                prop_assert_eq!(w, h, "bounded sweep divergence");
+                rig.check()?;
+                if w.is_none() {
+                    break;
+                }
+            }
+            let t = match rig.wheel.next_event_time() {
+                Some(next) => deadline.min(next),
+                None => deadline,
+            };
+            rig.wheel.advance_to(t);
+            rig.heap.advance_to(t);
+            rig.check()?;
+        }
+        rig.drain()?;
+    }
+}

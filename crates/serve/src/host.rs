@@ -60,6 +60,8 @@ pub struct ServeStats {
     pub vitals_shed: u64,
     /// Critical messages enqueued past the nominal bound.
     pub critical_overflow: u64,
+    /// Deepest ingress queue observed (queue-pressure high-water mark).
+    pub ingress_peak: u64,
 }
 
 /// Hosts a [`SupervisorCore`] live behind a [`Transport`].
@@ -208,6 +210,7 @@ impl<T: Transport> ServeHost<T> {
             }
         }
         self.ingress.push_back((from, payload));
+        self.stats.ingress_peak = self.stats.ingress_peak.max(self.ingress.len() as u64);
     }
 
     fn dispatch(&mut self, now: SimTime, input: CoreInput) {
