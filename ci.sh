@@ -27,6 +27,9 @@
 #      fails on ANY invariant violation in the reduced fault grid
 #      (no-overdose, plus failover/split-brain for the supervisor-crash
 #      and partition cells), or if the campaign blows its ceiling
+#   9a. campus-scale smoke                      — bench_campus --quick
+#      fails on any admission/association invariant violation in the
+#      reduced campus, under an events/s floor, or past its ceiling
 #  10. serve-mode smoke                          — the serve crate's
 #      crash harness (kill -9 the live supervisor mid-bolus; the
 #      device-local fail-safe must latch), then bench_serve --quick
@@ -89,6 +92,13 @@ cargo build --release -q -p mcps-bench --bin bench_faults
 ./target/release/bench_faults --quick --out target/BENCH_faults.json --max-ms 60000 > /dev/null
 test -s target/BENCH_faults.json || { echo "BENCH_faults.json missing"; exit 1; }
 echo "quick fault grid: zero invariant violations (target/BENCH_faults.json)"
+
+echo "== campus-scale smoke (10k-bed scenario engine, reduced census) =="
+cargo build --release -q -p mcps-bench --bin bench_campus
+./target/release/bench_campus --quick --out target/BENCH_campus.json \
+    --max-ms 60000 --min-events-per-sec 100000 > /dev/null
+test -s target/BENCH_campus.json || { echo "BENCH_campus.json missing"; exit 1; }
+echo "quick campus: zero invariant violations, events/s over floor (target/BENCH_campus.json)"
 
 echo "== serve-mode smoke (live host, crash harness, smoke budget) =="
 cargo test -q -p mcps-serve --release --test crash --test live_loop

@@ -75,8 +75,8 @@ fn run_arm(
     bus.annotate("patients", patients.to_string());
     bus.annotate("hours", hours.to_string());
     bus.annotate("proxy_per_hour", proxy.to_string());
-    for shard in &shards {
-        bus.merge(shard);
+    for shard in shards {
+        bus.merge_owned(shard);
     }
     bus
 }

@@ -154,6 +154,11 @@ impl Args {
         self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
     }
 
+    /// A `u64` value, or `None` if absent/unparseable.
+    pub fn get_u64_opt(&self, key: &str) -> Option<u64> {
+        self.values.get(key).and_then(|v| v.parse().ok())
+    }
+
     /// An `f64` value or its default.
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
         self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)

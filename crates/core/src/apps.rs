@@ -11,6 +11,82 @@ use mcps_sim::time::{SimDuration, SimTime};
 use crate::app::{AppCtx, ClinicalApp};
 use crate::msg::IceCommand;
 
+/// A ward-floor spot-check monitoring app: one oximeter slot sampled
+/// at general-care cadence (tens of seconds, not 1 Hz), no commands,
+/// no interlock — it watches SpO₂ and counts desaturation alarms.
+///
+/// This is the cheap bed of the campus scenario: general-care wards
+/// are overwhelmingly monitor-only, and their event budget is what
+/// makes 10k concurrent beds tractable.
+#[derive(Debug, Default)]
+pub struct WardMonitorApp {
+    observations: u64,
+    desat_alarms: u64,
+    /// Latched while SpO₂ is below threshold so one sustained desat
+    /// counts once, not once per sample.
+    in_desat: bool,
+    last_spo2: Option<f64>,
+}
+
+/// SpO₂ below this raises a ward desaturation alarm.
+const WARD_DESAT_THRESHOLD: f64 = 90.0;
+
+impl WardMonitorApp {
+    /// Creates the app.
+    pub fn new() -> Self {
+        WardMonitorApp::default()
+    }
+
+    /// Data points observed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Distinct desaturation episodes alarmed.
+    pub fn desat_alarms(&self) -> u64 {
+        self.desat_alarms
+    }
+
+    /// The most recent SpO₂ reading, if any.
+    pub fn last_spo2(&self) -> Option<f64> {
+        self.last_spo2
+    }
+}
+
+impl ClinicalApp for WardMonitorApp {
+    fn requirements(&self) -> Vec<DeviceRequirementSet> {
+        vec![DeviceRequirementSet::new(
+            "monitor",
+            vec![Requirement::Stream {
+                kind: VitalKind::Spo2,
+                // Spot-check cadence: anything at or under 30 s keeps
+                // the supervisor's disassociation timeout satisfied.
+                max_period: SimDuration::from_secs(30),
+                latency_class: LatencyClass::BestEffort,
+            }],
+        )]
+    }
+
+    fn on_data(&mut self, ctx: &mut AppCtx<'_>, kind: VitalKind, value: f64, _at: SimTime) {
+        self.observations += 1;
+        if kind != VitalKind::Spo2 {
+            return;
+        }
+        self.last_spo2 = Some(value);
+        if value < WARD_DESAT_THRESHOLD {
+            if !self.in_desat {
+                self.in_desat = true;
+                self.desat_alarms += 1;
+                ctx.note_with(|| format!("ward desat alarm: SpO2 {value:.1}"));
+            }
+        } else {
+            self.in_desat = false;
+        }
+    }
+
+    fn on_tick(&mut self, _ctx: &mut AppCtx<'_>) {}
+}
+
 /// The PCA safety-interlock app: watches SpO₂/RR (and whatever else is
 /// published), revokes the pump's permission on respiratory depression
 /// or data staleness.
@@ -333,7 +409,8 @@ mod tests {
             b.build()
         };
         // One device per slot; class requirements differ, so craft per slot.
-        for slot in m.slot_names() {
+        let slot_names: Vec<String> = m.slot_names().map(str::to_owned).collect();
+        for slot in slot_names {
             let ep = fabric.add_endpoint(&format!("ep-{slot}"));
             let mut p = profile.clone();
             p.class = match slot.as_str() {

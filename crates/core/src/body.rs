@@ -132,6 +132,16 @@ impl PatientActor {
         }
     }
 
+    /// Sets the physiology step (default 1 s). Campus monitor-only beds
+    /// advance their bodies at the spot-check cadence instead of 1 Hz;
+    /// the model integrates over the actual elapsed `dt`, so a slower
+    /// step trades temporal resolution for event-budget headroom.
+    pub fn with_step(mut self, step: SimDuration) -> Self {
+        assert!(!step.is_zero(), "patient step must be positive");
+        self.step = step;
+        self
+    }
+
     /// Enables ground-truth timeline recording every `every` seconds.
     pub fn record_timeline_every(&mut self, every: u64) {
         self.timeline_every = every;

@@ -47,9 +47,10 @@ pub mod msg;
 pub mod netctl;
 pub mod scenarios;
 pub mod supervisor;
+pub mod vecmap;
 
 pub use app::{AppCtx, ClinicalApp};
-pub use apps::{PcaSafetyApp, WorkflowStyle, XRayCoordinatorApp};
+pub use apps::{PcaSafetyApp, WardMonitorApp, WorkflowStyle, XRayCoordinatorApp};
 pub use body::{PatientActor, PatientBody};
 pub use manager::{AssociationOutcome, DeviceManager};
 pub use msg::{IceCommand, IceMsg, NetAddress, NetOp, NetPayload};

@@ -10,7 +10,6 @@
 use mcps_device::profile::{DeviceProfile, DeviceRequirementSet};
 use mcps_net::fabric::EndpointId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Result of processing one announcement.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -27,17 +26,29 @@ pub enum AssociationOutcome {
 }
 
 /// The device manager.
+///
+/// State is slot-indexed: `filled[i]` is the device (if any) occupying
+/// `slots[i]`. Bedside apps declare a handful of slots, so name lookups
+/// are a linear scan over a contiguous array — cheaper and far more
+/// compact than the former name-keyed `BTreeMap`, which matters when a
+/// campus run keeps 10k of these managers resident.
 #[derive(Debug, Clone, Default)]
 pub struct DeviceManager {
     slots: Vec<DeviceRequirementSet>,
-    filled: BTreeMap<String, (EndpointId, DeviceProfile)>,
+    filled: Vec<Option<(EndpointId, DeviceProfile)>>,
     rejected: Vec<(EndpointId, String)>,
 }
 
 impl DeviceManager {
     /// Creates a manager with the app's required slots.
     pub fn new(slots: Vec<DeviceRequirementSet>) -> Self {
-        DeviceManager { slots, filled: BTreeMap::new(), rejected: Vec::new() }
+        let filled = slots.iter().map(|_| None).collect();
+        DeviceManager { slots, filled, rejected: Vec::new() }
+    }
+
+    #[inline]
+    fn slot_index(&self, slot: &str) -> Option<usize> {
+        self.slots.iter().position(|s| s.slot == slot)
     }
 
     /// Processes a device announcement.
@@ -46,12 +57,12 @@ impl DeviceManager {
         endpoint: EndpointId,
         profile: &DeviceProfile,
     ) -> AssociationOutcome {
-        if self.filled.values().any(|(ep, _)| *ep == endpoint) {
+        if self.filled.iter().flatten().any(|(ep, _)| *ep == endpoint) {
             return AssociationOutcome::Duplicate;
         }
-        for slot in &self.slots {
-            if !self.filled.contains_key(&slot.slot) && slot.matches(profile) {
-                self.filled.insert(slot.slot.clone(), (endpoint, profile.clone()));
+        for (i, slot) in self.slots.iter().enumerate() {
+            if self.filled[i].is_none() && slot.matches(profile) {
+                self.filled[i] = Some((endpoint, profile.clone()));
                 return AssociationOutcome::Associated { slot: slot.slot.clone() };
             }
         }
@@ -61,35 +72,52 @@ impl DeviceManager {
 
     /// Whether every slot is filled.
     pub fn fully_associated(&self) -> bool {
-        self.slots.iter().all(|s| self.filled.contains_key(&s.slot))
+        self.filled.iter().all(Option::is_some)
     }
 
     /// The endpoint filling a slot, if any.
     pub fn endpoint_for(&self, slot: &str) -> Option<EndpointId> {
-        self.filled.get(slot).map(|(ep, _)| *ep)
+        let i = self.slot_index(slot)?;
+        self.filled[i].as_ref().map(|(ep, _)| *ep)
     }
 
     /// The profile filling a slot, if any.
     pub fn profile_for(&self, slot: &str) -> Option<&DeviceProfile> {
-        self.filled.get(slot).map(|(_, p)| p)
+        let i = self.slot_index(slot)?;
+        self.filled[i].as_ref().map(|(_, p)| p)
     }
 
     /// The slot an endpoint currently fills, if any.
     pub fn slot_of(&self, endpoint: EndpointId) -> Option<&str> {
-        self.filled.iter().find(|(_, (ep, _))| *ep == endpoint).map(|(s, _)| s.as_str())
+        self.slots
+            .iter()
+            .zip(&self.filled)
+            .find(|(_, f)| f.as_ref().is_some_and(|(ep, _)| *ep == endpoint))
+            .map(|(s, _)| s.slot.as_str())
     }
 
-    /// All slot names, in declaration order.
-    pub fn slot_names(&self) -> Vec<String> {
-        self.slots.iter().map(|s| s.slot.clone()).collect()
+    /// All slot names, in declaration order. Borrows — no per-call
+    /// `String` clones; the supervisor walks this every liveness tick.
+    pub fn slot_names(&self) -> impl Iterator<Item = &str> {
+        self.slots.iter().map(|s| s.slot.as_str())
+    }
+
+    /// Slot name, endpoint and profile of every *filled* slot, in
+    /// declaration order.
+    pub fn associated(&self) -> impl Iterator<Item = (&str, EndpointId, &DeviceProfile)> {
+        self.slots
+            .iter()
+            .zip(&self.filled)
+            .filter_map(|(s, f)| f.as_ref().map(|(ep, p)| (s.slot.as_str(), *ep, p)))
     }
 
     /// Slots still waiting for a device.
     pub fn open_slots(&self) -> Vec<&str> {
         self.slots
             .iter()
-            .filter(|s| !self.filled.contains_key(&s.slot))
-            .map(|s| s.slot.as_str())
+            .zip(&self.filled)
+            .filter(|(_, f)| f.is_none())
+            .map(|(s, _)| s.slot.as_str())
             .collect()
     }
 
@@ -101,10 +129,10 @@ impl DeviceManager {
     /// Drops the association of `endpoint` (device disappeared).
     /// Returns the slot it vacated, if any.
     pub fn disassociate(&mut self, endpoint: EndpointId) -> Option<String> {
-        let slot =
-            self.filled.iter().find(|(_, (ep, _))| *ep == endpoint).map(|(s, _)| s.clone())?;
-        self.filled.remove(&slot);
-        Some(slot)
+        let i =
+            self.filled.iter().position(|f| f.as_ref().is_some_and(|(ep, _)| *ep == endpoint))?;
+        self.filled[i] = None;
+        Some(self.slots[i].slot.clone())
     }
 }
 

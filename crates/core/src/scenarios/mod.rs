@@ -5,7 +5,10 @@
 //! * [`ward`] — the monitored ward alarm study (E2).
 //! * [`multibed`] — N complete closed loops on one shared fabric
 //!   (topic-scope isolation).
+//! * [`campus`] — thousands of beds across wards/floors, one fabric
+//!   segment per ward, costed shard dispatch (E12 throughput).
 
+pub mod campus;
 pub mod multibed;
 pub mod pca;
 pub mod ward;

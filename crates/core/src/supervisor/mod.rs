@@ -89,6 +89,13 @@ impl Supervisor {
         }
     }
 
+    /// Sets the control-tick re-arm period (see
+    /// [`SupervisorCore::with_step`]).
+    pub fn with_step(mut self, step: SimDuration) -> Self {
+        self.core = self.core.with_step(step);
+        self
+    }
+
     /// Sets the role in a redundant pair (see [`SupervisorCore::with_role`]).
     pub fn with_role(mut self, role: SupervisorRole) -> Self {
         self.core = self.core.with_role(role);

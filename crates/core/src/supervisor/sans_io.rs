@@ -26,12 +26,12 @@ use mcps_net::fabric::{EndpointId, Topic};
 use mcps_net::monitor::DeadlineTracker;
 use mcps_sim::rng::SimRng;
 use mcps_sim::time::{SimDuration, SimTime};
-use std::collections::BTreeMap;
 
 use crate::app::{AppCtx, ClinicalApp};
 use crate::manager::{AssociationOutcome, DeviceManager};
 use crate::msg::{IceCommand, NetAddress, NetPayload};
 use crate::netctl::topics;
+use crate::vecmap::VecMap;
 
 /// A monitoring device whose data has not arrived for this long is
 /// considered gone: its slot is vacated so a replacement can associate
@@ -202,8 +202,10 @@ pub struct SupervisorCore {
     pub(crate) assoc_active: bool,
     /// Completed associations (1 initially; +1 per successful hot-swap).
     pub(crate) associations_completed: u32,
-    /// Last data arrival per associated endpoint.
-    pub(crate) last_data: BTreeMap<EndpointId, SimTime>,
+    /// Last data arrival per associated endpoint. Sorted-vec map: a
+    /// bed has a handful of devices, and 10k resident cores can't
+    /// afford a `BTreeMap` node allocation each.
+    pub(crate) last_data: VecMap<EndpointId, SimTime>,
     pub(crate) data_received: u64,
     /// Data points dropped because the sender was not associated.
     pub(crate) data_ignored: u64,
@@ -218,7 +220,9 @@ pub struct SupervisorCore {
     /// command id so concurrent commands of the same kind pair with
     /// their own acks. Entries are bounded: every command either acks
     /// or expires at its deadline (after retries, if retryable).
-    pub(crate) inflight: BTreeMap<u64, InflightCommand>,
+    /// Sorted-vec map: ids are issued monotonically, so inserts are
+    /// pushes and iteration order matches the former `BTreeMap`.
+    pub(crate) inflight: VecMap<u64, InflightCommand>,
     pub(crate) rtt: DeadlineTracker,
     pub(crate) rtt_deadline: SimDuration,
     pub(crate) associated_at: Option<SimTime>,
@@ -276,7 +280,7 @@ pub struct SupervisorCore {
     /// Heartbeat round-trips, milliseconds, in completion order.
     pub(crate) hb_rtt_ms: Vec<f64>,
     /// Last heartbeat-ack instant per endpoint, for fail-safe release.
-    pub(crate) hb_last_acked: BTreeMap<EndpointId, SimTime>,
+    pub(crate) hb_last_acked: VecMap<EndpointId, SimTime>,
 }
 
 impl std::fmt::Debug for SupervisorCore {
@@ -303,14 +307,14 @@ impl SupervisorCore {
             step: SimDuration::from_secs(1),
             assoc_active: false,
             associations_completed: 0,
-            last_data: BTreeMap::new(),
+            last_data: VecMap::new(),
             data_received: 0,
             data_ignored: 0,
             commands_sent: 0,
             commands_retried: 0,
             commands_suppressed: 0,
             next_command_id: 0,
-            inflight: BTreeMap::new(),
+            inflight: VecMap::new(),
             rtt: DeadlineTracker::new(rtt_deadline),
             rtt_deadline,
             associated_at: None,
@@ -339,8 +343,19 @@ impl SupervisorCore {
             hb_acked: 0,
             hb_unanswered: 0,
             hb_rtt_ms: Vec::new(),
-            hb_last_acked: BTreeMap::new(),
+            hb_last_acked: VecMap::new(),
         }
+    }
+
+    /// Sets the control-tick period the driver should re-arm at.
+    /// Bedside closed loops run the default 1 Hz; ward-floor spot-check
+    /// supervision (campus monitor-only beds) can afford a slower tick,
+    /// which at 10k beds is the difference between the supervisor ticks
+    /// dominating the event budget and disappearing into it.
+    pub fn with_step(mut self, step: SimDuration) -> Self {
+        assert!(!step.is_zero(), "tick step must be positive");
+        self.step = step;
+        self
     }
 
     /// Sets the role in a redundant pair. A standby starts at epoch 0
@@ -676,7 +691,7 @@ impl SupervisorCore {
                 self.ckpt_stop_unconfirmed = stop_unconfirmed;
                 self.ckpt_inflight_ids = inflight_ids;
                 for (ep, t) in last_data {
-                    let e = self.last_data.entry(ep).or_insert(t);
+                    let e = self.last_data.get_or_insert(ep, t);
                     *e = (*e).max(t);
                 }
             }
@@ -823,12 +838,10 @@ impl SupervisorCore {
     /// a streaming slot drops the supervisor into degraded mode.
     fn check_device_liveness(&mut self, now: SimTime, out: &mut CoreOutputs) {
         let mut vacate: Vec<EndpointId> = Vec::new();
-        for slot in self.manager.slot_names() {
-            let Some(ep) = self.manager.endpoint_for(&slot) else { continue };
+        for (_, ep, profile) in self.manager.associated() {
             // Only devices that promise data streams are liveness-checked;
             // command-only devices (pumps) are supervised by their acks.
-            let publishes = self.manager.profile_for(&slot).is_some_and(|p| !p.streams.is_empty());
-            if !publishes {
+            if profile.streams.is_empty() {
                 continue;
             }
             let silent = match self.last_data.get(&ep) {
@@ -865,7 +878,7 @@ impl SupervisorCore {
     fn check_inflight(&mut self, now: SimTime, out: &mut CoreOutputs) {
         let mut retries: Vec<u64> = Vec::new();
         let mut expired: Vec<u64> = Vec::new();
-        for (&id, e) in &self.inflight {
+        for (&id, e) in self.inflight.iter() {
             let waited = now.saturating_since(e.sent_at);
             if e.retryable && e.attempts <= MAX_RETRIES {
                 // Backoff doubles per transmission: 2 s, 4 s, 8 s.
@@ -920,16 +933,12 @@ impl SupervisorCore {
         }
     }
 
-    /// Associated endpoints whose profile accepts an immediate stop.
+    /// Associated endpoints whose profile accepts an immediate stop,
+    /// in slot declaration order.
     fn stop_capable_endpoints(&self) -> Vec<EndpointId> {
         self.manager
-            .slot_names()
-            .into_iter()
-            .filter_map(|slot| {
-                let ep = self.manager.endpoint_for(&slot)?;
-                let p = self.manager.profile_for(&slot)?;
-                p.accepts_command(CommandKind::Stop).then_some(ep)
-            })
+            .associated()
+            .filter_map(|(_, ep, p)| p.accepts_command(CommandKind::Stop).then_some(ep))
             .collect()
     }
 
@@ -960,10 +969,8 @@ impl SupervisorCore {
         }
         let healthy = !self.stop_unconfirmed
             && self.manager.fully_associated()
-            && self.manager.slot_names().iter().all(|slot| {
-                let Some(ep) = self.manager.endpoint_for(slot) else { return false };
-                let streams = self.manager.profile_for(slot).is_some_and(|p| !p.streams.is_empty());
-                !streams
+            && self.manager.associated().all(|(_, ep, p)| {
+                p.streams.is_empty()
                     || self
                         .last_data
                         .get(&ep)

@@ -1,0 +1,164 @@
+//! A sorted-vector map for small, hot per-bed state.
+//!
+//! `BTreeMap` allocates pointer-chased nodes sized for hundreds of
+//! entries; per-bed supervisor tables (`last_data`, `inflight`,
+//! heartbeat acks) hold a handful. At campus scale — 10k live
+//! [`SupervisorCore`](crate::supervisor::SupervisorCore)s — those nodes
+//! dominate the cache footprint. [`VecMap`] stores entries in one
+//! contiguous `Vec`, sorted by key: lookups are a binary search over a
+//! few cache-resident pairs, iteration is a linear walk in key order
+//! (identical to `BTreeMap` iteration order, which the replication
+//! checkpoints rely on for determinism), and inserting an
+//! already-largest key — the monotone command-id pattern of the
+//! inflight table — is an O(1) push.
+
+/// A map backed by a `Vec` of `(key, value)` pairs sorted by key.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VecMap<K, V> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K: Ord + Copy, V> VecMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        VecMap { entries: Vec::new() }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    #[inline]
+    fn pos(&self, key: &K) -> Result<usize, usize> {
+        self.entries.binary_search_by(|(k, _)| k.cmp(key))
+    }
+
+    /// The value for `key`, if present.
+    #[inline]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.pos(key).ok().map(|i| &self.entries[i].1)
+    }
+
+    /// Mutable access to the value for `key`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.pos(key).ok().map(|i| &mut self.entries[i].1)
+    }
+
+    /// Inserts `key → value`, returning the previous value if the key
+    /// was present. Keys larger than everything stored insert with a
+    /// push, no search or shift.
+    #[inline]
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if self.entries.last().is_none_or(|(k, _)| *k < key) {
+            self.entries.push((key, value));
+            return None;
+        }
+        match self.pos(&key) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(i) => {
+                self.entries.insert(i, (key, value));
+                None
+            }
+        }
+    }
+
+    /// The value for `key`, inserting `value` first if absent.
+    pub fn get_or_insert(&mut self, key: K, value: V) -> &mut V {
+        let i = match self.pos(&key) {
+            Ok(i) => i,
+            Err(i) => {
+                self.entries.insert(i, (key, value));
+                i
+            }
+        };
+        &mut self.entries[i].1
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.pos(key).ok().map(|i| self.entries.remove(i).1)
+    }
+
+    /// Entries in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Values in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m: VecMap<u64, &str> = VecMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(5, "five"), None);
+        assert_eq!(m.insert(1, "one"), None);
+        assert_eq!(m.insert(3, "three"), None);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(&3), Some(&"three"));
+        assert_eq!(m.insert(3, "THREE"), Some("three"));
+        assert_eq!(m.remove(&1), Some("one"));
+        assert_eq!(m.remove(&1), None);
+        assert_eq!(m.get(&1), None);
+    }
+
+    #[test]
+    fn iteration_is_key_sorted_like_btreemap() {
+        use std::collections::BTreeMap;
+        let keys = [9u64, 2, 7, 4, 0, 11, 3];
+        let mut vm: VecMap<u64, u64> = VecMap::new();
+        let mut bt: BTreeMap<u64, u64> = BTreeMap::new();
+        for &k in &keys {
+            vm.insert(k, k * 10);
+            bt.insert(k, k * 10);
+        }
+        let v: Vec<_> = vm.iter().map(|(&k, &v)| (k, v)).collect();
+        let b: Vec<_> = bt.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(v, b);
+        assert_eq!(vm.keys().copied().collect::<Vec<_>>(), bt.keys().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn monotone_keys_take_the_push_path() {
+        let mut m: VecMap<u64, u64> = VecMap::new();
+        for k in 0..100 {
+            assert_eq!(m.insert(k, k), None);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.keys().copied().collect::<Vec<_>>(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn get_or_insert_matches_entry_semantics() {
+        let mut m: VecMap<u32, u32> = VecMap::new();
+        *m.get_or_insert(7, 1) += 10;
+        *m.get_or_insert(7, 99) += 100;
+        assert_eq!(m.get(&7), Some(&111));
+        m.clear();
+        assert!(m.is_empty());
+    }
+}

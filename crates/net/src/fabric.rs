@@ -342,6 +342,32 @@ impl Fabric {
         Fabric::default()
     }
 
+    /// An empty fabric pre-sized for a known scenario shape: endpoint,
+    /// topic and link tables are allocated up front so registration is
+    /// O(1) amortized with no rehash/regrow churn. Campus-scale
+    /// scenarios register tens of thousands of topics; growing the
+    /// Fx-hashed registry through doublings would rehash every interned
+    /// key several times over.
+    pub fn with_capacity(endpoints: usize, topics: usize, links: usize) -> Self {
+        let mut f = Fabric::default();
+        f.reserve(endpoints, topics, links);
+        f
+    }
+
+    /// Reserves capacity for at least `endpoints`, `topics` and `links`
+    /// additional registrations (see [`Fabric::with_capacity`]).
+    pub fn reserve(&mut self, endpoints: usize, topics: usize, links: usize) {
+        self.names.reserve(endpoints);
+        self.topic_ids.reserve(topics);
+        self.topics.reserve(topics);
+        self.subs.reserve(topics);
+        self.routes.reserve(topics);
+        self.link_index.reserve(links);
+        self.links.reserve(links);
+        self.stats.reserve(links);
+        self.link_keys.reserve(links);
+    }
+
     /// Sets the QoS used by links without an explicit override.
     pub fn set_default_qos(&mut self, qos: LinkQos) {
         self.default_qos = qos;

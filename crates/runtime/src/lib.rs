@@ -63,7 +63,9 @@ pub mod prelude {
     pub use crate::actor::{Actor, ActorId};
     pub use crate::kernel::{Context, Runtime, Simulation};
     pub use crate::rng::{RngFactory, SimRng};
-    pub use crate::shard::{run_shards, run_shards_with};
+    pub use crate::shard::{
+        run_shards, run_shards_costed, run_shards_costed_in, run_shards_with, ShardStats,
+    };
     pub use crate::telemetry::{Summary, Telemetry};
     pub use crate::time::{SimDuration, SimTime};
 }

@@ -33,6 +33,19 @@
 //! supervisor chains at one timestamp — cost a ring push and pop each,
 //! with no per-event allocation in steady state.
 //!
+//! ## Sparse fast path
+//!
+//! Below [`SPARSE_MAX`] concurrent events the wheel machinery is pure
+//! overhead: a ward's worth of self-rearming device timers pops one
+//! event and schedules one replacement, never holding more than a few
+//! dozen at once. While the stored population fits, events park in a
+//! small cache-resident binary heap and the wheel is never touched;
+//! the first event past the cap spills the heap into the wheel and the
+//! dense regime takes over until the wheel drains empty again. Both
+//! regimes implement the same `(at, seq)` total order, so the switch
+//! is invisible to every observer (enforced by the lockstep suite and
+//! the `bench_runtime` conformance hashes).
+//!
 //! ## Reference engine
 //!
 //! The original binary-heap engine survives as
@@ -45,7 +58,7 @@ use crate::actor::ActorId;
 use crate::telemetry::Telemetry;
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::VecDeque;
+use std::collections::{BinaryHeap, VecDeque};
 
 pub mod reference;
 
@@ -60,6 +73,15 @@ const SLOT_MASK: u64 = (SLOTS as u64) - 1;
 pub const LEVELS: usize = 7;
 /// Bits of absolute time the wheel resolves (`6 * LEVELS`).
 const HORIZON_BITS: u32 = SLOT_BITS * LEVELS as u32;
+/// Capacity of the sparse fast-path heap. While the queue holds at most
+/// this many events (and the wheel proper is idle) they live in a small
+/// binary heap instead: at this size the heap is entirely
+/// cache-resident and its `O(log n)` sift is a handful of comparisons,
+/// which beats the wheel's filing/cascade machinery for sparse periodic
+/// workloads (a ward of self-rearming device timers). The 65th
+/// concurrent event spills the heap into the wheel, whose `O(1)`
+/// schedule/pop then wins at scale.
+const SPARSE_MAX: usize = 64;
 
 /// A queued event: deliver `msg` to `target` at time `at`.
 #[derive(Debug)]
@@ -89,6 +111,51 @@ impl<M> Ord for Scheduled<M> {
     // Reversed so the BinaryHeap pops the *earliest* event first.
     fn cmp(&self, other: &Self) -> Ordering {
         (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A sparse-heap element: `(at, seq)` packed into one 128-bit key —
+/// `at` in the high 64 bits, `seq` in the low — so a heap sift
+/// compares once where a `(at, seq)` tuple would compare twice and
+/// branch in between.
+struct SparseEv<M> {
+    key: u128,
+    target: ActorId,
+    msg: M,
+}
+
+impl<M> SparseEv<M> {
+    #[inline]
+    fn new(at: SimTime, seq: u64, target: ActorId, msg: M) -> Self {
+        SparseEv { key: (u128::from(at.as_micros()) << 64) | u128::from(seq), target, msg }
+    }
+
+    #[inline]
+    fn at(&self) -> SimTime {
+        SimTime::from_micros((self.key >> 64) as u64)
+    }
+
+    #[inline]
+    fn into_scheduled(self) -> Scheduled<M> {
+        Scheduled { at: self.at(), seq: self.key as u64, target: self.target, msg: self.msg }
+    }
+}
+
+impl<M> PartialEq for SparseEv<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<M> Eq for SparseEv<M> {}
+impl<M> PartialOrd for SparseEv<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for SparseEv<M> {
+    // Reversed so the BinaryHeap pops the *earliest* event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key.cmp(&self.key)
     }
 }
 
@@ -158,12 +225,14 @@ pub struct Scheduler<M> {
     /// `(target, msg)` — their time is `now` and their relative order
     /// is positional, so `at`/`seq` would be dead weight.
     ring: VecDeque<(ActorId, M)>,
-    /// The only stored event, held outside the wheel entirely. Sparse
-    /// workloads (a lone periodic timer, one in-flight message) never
-    /// touch the filing/cascade machinery: the single event parks here
-    /// and is delivered directly. A second arrival demotes it into the
-    /// wheel through the normal path.
-    solo: Option<Scheduled<M>>,
+    /// The sparse fast path: while at most [`SPARSE_MAX`] events are
+    /// stored (and the wheel proper is empty) they park in this small
+    /// `(at, seq)`-ordered heap and never touch the filing/cascade
+    /// machinery. Invariant: `sparse` and the wheel/overflow are never
+    /// simultaneously non-empty — event `SPARSE_MAX + 1` spills the
+    /// whole heap into the wheel, and the heap stays unused until the
+    /// wheel drains completely.
+    sparse: BinaryHeap<SparseEv<M>>,
     /// Events beyond the wheel horizon (`at ^ now` ≥ 2^42 µs).
     overflow: Vec<Scheduled<M>>,
     /// Events stored in the wheel + overflow (the ready ring counts
@@ -203,7 +272,7 @@ impl<M> Scheduler<M> {
             levels: std::array::from_fn(|_| Level::new()),
             nonempty: 0,
             ring: VecDeque::new(),
-            solo: None,
+            sparse: BinaryHeap::with_capacity(SPARSE_MAX),
             overflow: Vec::new(),
             stored: 0,
             seq: 0,
@@ -219,9 +288,10 @@ impl<M> Scheduler<M> {
         self.now
     }
 
-    /// Number of events queued (wheel + ready ring + overflow).
+    /// Number of events queued (wheel + sparse heap + ready ring +
+    /// overflow).
     pub fn pending(&self) -> usize {
-        self.stored + self.ring.len()
+        self.stored + self.sparse.len() + self.ring.len()
     }
 
     /// Whether a stop has been requested.
@@ -276,8 +346,8 @@ impl<M> Scheduler<M> {
         if !self.ring.is_empty() {
             return Some(self.now);
         }
-        if let Some(ev) = &self.solo {
-            return Some(ev.at);
+        if let Some(ev) = self.sparse.peek() {
+            return Some(ev.at());
         }
         let now = self.now.as_micros();
         for (level, l) in self.levels.iter().enumerate() {
@@ -298,16 +368,16 @@ impl<M> Scheduler<M> {
     }
 
     /// A lower bound on [`Self::next_event_time`] computable without
-    /// inspecting any event: exact for ring, solo and level-0 events;
-    /// the containing slot's start for coarser slots; the next horizon
-    /// window's base for overflow events. O(1) regardless of how many
-    /// far-future events are parked.
+    /// inspecting any event: exact for ring, sparse-heap and level-0
+    /// events; the containing slot's start for coarser slots; the next
+    /// horizon window's base for overflow events. O(1) regardless of
+    /// how many far-future events are parked.
     fn next_event_floor(&self) -> Option<SimTime> {
         if !self.ring.is_empty() {
             return Some(self.now);
         }
-        if let Some(ev) = &self.solo {
-            return Some(ev.at);
+        if let Some(ev) = self.sparse.peek() {
+            return Some(ev.at());
         }
         let now = self.now.as_micros();
         for (level, l) in self.levels.iter().enumerate() {
@@ -344,26 +414,46 @@ impl<M> Scheduler<M> {
 
     /// Schedules `msg` for `target` at absolute time `at`, clamped to
     /// the present if `at` is already past.
+    ///
+    /// Kept small enough to inline into dispatch loops: the two hot
+    /// outcomes (ring append, sparse-heap push) return directly and
+    /// everything else tails into the outlined dense path.
+    #[inline]
     pub fn schedule_at(&mut self, at: SimTime, target: ActorId, msg: M) {
         let at = at.max(self.now);
         if self.instant_open && at == self.now {
             // Appending preserves `(at, seq)` order: ring order is
             // positional and the wheel holds only later times.
             self.ring.push_back((target, msg));
-        } else {
-            self.seq += 1;
-            let seq = self.seq;
-            self.stored += 1;
-            let ev = Scheduled { at, seq, target, msg };
-            if self.stored == 1 {
-                self.solo = Some(ev);
-            } else if let Some(prev) = self.solo.take() {
-                self.file(prev);
-                self.file(ev);
-            } else {
-                self.file(ev);
+            return;
+        }
+        self.seq += 1;
+        let seq = self.seq;
+        if self.nonempty == 0 && self.overflow.is_empty() && self.sparse.len() < SPARSE_MAX {
+            // `stored` deliberately not touched: the sparse heap counts
+            // itself (see `pending`), keeping this path store-free.
+            self.sparse.push(SparseEv::new(at, seq, target, msg));
+            return;
+        }
+        self.schedule_dense(Scheduled { at, seq, target, msg });
+    }
+
+    /// The dense half of [`Self::schedule_at`]: spills the sparse heap
+    /// into the wheel when it just overflowed, then files the event.
+    /// Outlined so the sparse fast path stays inlinable.
+    #[inline(never)]
+    fn schedule_dense(&mut self, ev: Scheduled<M>) {
+        if self.nonempty == 0 && self.overflow.is_empty() {
+            // The sparse heap is full: spill it into the wheel and file
+            // normally from here on. Runs once per transition from the
+            // sparse to the dense regime.
+            while let Some(prev) = self.sparse.pop() {
+                self.stored += 1;
+                self.file(prev.into_scheduled());
             }
         }
+        self.stored += 1;
+        self.file(ev);
     }
 
     /// Schedules `msg` for `target` after `delay` from now.
@@ -427,14 +517,21 @@ impl<M> Scheduler<M> {
     pub(crate) fn open_next_instant(&mut self) -> bool {
         loop {
             if self.nonempty == 0 {
-                if let Some(ev) = self.solo.take() {
-                    // The lone stored event: deliver it directly.
-                    debug_assert!(self.overflow.is_empty(), "solo event beside overflow");
-                    debug_assert!(ev.at >= self.now, "event queue went backwards");
-                    self.stored -= 1;
-                    self.now = ev.at;
+                if let Some(ev) = self.sparse.pop() {
+                    // Sparse regime: the heap holds every stored event,
+                    // so its minimum opens the next instant. Drain the
+                    // run sharing its timestamp — the heap yields equal
+                    // times in ascending `seq`, so the ring stays FIFO.
+                    debug_assert!(self.overflow.is_empty(), "sparse events beside overflow");
+                    debug_assert!(ev.at() >= self.now, "event queue went backwards");
+                    self.now = ev.at();
                     self.instant_open = true;
                     self.ring.push_back((ev.target, ev.msg));
+                    while self.sparse.peek().is_some_and(|e| e.at() == self.now) {
+                        let e = self.sparse.pop().expect("peeked event exists");
+                        self.ring.push_back((e.target, e.msg));
+                    }
+                    self.sample_ready_depth();
                     return true;
                 }
                 // Wheel empty: jump the clock to the earliest overflow
@@ -559,6 +656,11 @@ impl<M> Scheduler<M> {
     /// Removes and returns the next due event, advancing the clock to
     /// its timestamp. Returns `None` if the queue is empty or a stop was
     /// requested.
+    ///
+    /// Kept small enough to inline into dispatch loops: the two hot
+    /// outcomes (ring pop, sparse-heap pop) return directly and
+    /// everything else tails into the outlined wheel path.
+    #[inline]
     pub fn pop_due(&mut self) -> Option<Scheduled<M>> {
         if self.stop {
             return None;
@@ -566,6 +668,38 @@ impl<M> Scheduler<M> {
         if let Some((target, msg)) = self.ring.pop_front() {
             return Some(Scheduled { at: self.now, seq: 0, target, msg });
         }
+        if self.nonempty == 0 {
+            if let Some(ev) = self.sparse.pop() {
+                // Sparse direct delivery: hand the head back without a
+                // ring round-trip; same-instant followers drain to the
+                // ring so sends into the open instant order after them.
+                self.now = ev.at();
+                self.instant_open = true;
+                if self.sparse.peek().is_some_and(|e| e.at() == self.now) {
+                    self.drain_sparse_run();
+                }
+                return Some(ev.into_scheduled());
+            }
+        }
+        self.pop_due_wheel()
+    }
+
+    /// Moves every sparse-heap event sharing the (just-opened) current
+    /// instant into the ready ring, preserving `seq` order. Outlined:
+    /// timer collisions are rare in sparse workloads.
+    #[inline(never)]
+    fn drain_sparse_run(&mut self) {
+        while self.sparse.peek().is_some_and(|e| e.at() == self.now) {
+            let e = self.sparse.pop().expect("peeked event exists");
+            self.ring.push_back((e.target, e.msg));
+        }
+    }
+
+    /// The wheel half of [`Self::pop_due`]: opens the next instant via
+    /// the filing/cascade machinery. Outlined so the sparse fast path
+    /// stays inlinable.
+    #[inline(never)]
+    fn pop_due_wheel(&mut self) -> Option<Scheduled<M>> {
         if !self.open_next_instant() {
             return None;
         }
@@ -628,7 +762,7 @@ impl<M> Scheduler<M> {
         }
         self.nonempty = 0;
         self.ring.clear();
-        self.solo = None;
+        self.sparse.clear();
         self.overflow.clear();
         self.stored = 0;
         self.seq = 0;
@@ -765,14 +899,20 @@ mod tests {
         let a = ActorId::from_index(0);
         // ~48 days out: lands at the top wheel level, then cascades.
         // Two events in the same coarse slot defeat the singleton
-        // direct-delivery fast path, forcing a real cascade chain.
+        // direct-delivery fast path, and the filler events past the
+        // sparse-heap capacity force everything through the wheel.
         let far = SimTime::from_micros(48 * 24 * 3600 * 1_000_000);
         let far2 = SimTime::from_micros(48 * 24 * 3600 * 1_000_000 + 7);
         s.schedule_at(far, a, 1);
         s.schedule_at(far2, a, 3);
-        s.schedule_at(SimTime::from_micros(1), a, 2);
+        for i in 0..SPARSE_MAX as u32 {
+            s.schedule_at(SimTime::from_micros(1), a, 100 + i);
+        }
         assert_eq!(s.next_event_time(), Some(SimTime::from_micros(1)));
-        assert_eq!(drain_order(&mut s), vec![(SimTime::from_micros(1), 2), (far, 1), (far2, 3)]);
+        let order = drain_order(&mut s);
+        assert_eq!(order.len(), SPARSE_MAX + 2);
+        assert!(order[..SPARSE_MAX].iter().all(|&(at, _)| at == SimTime::from_micros(1)));
+        assert_eq!(&order[SPARSE_MAX..], &[(far, 1), (far2, 3)]);
         assert!(s.stats().cascades > 0, "co-sloted 48-day events must cascade");
     }
 
@@ -780,16 +920,21 @@ mod tests {
     fn beyond_horizon_goes_to_overflow_and_back() {
         let mut s = Scheduler::new();
         let a = ActorId::from_index(0);
-        // 100 days: beyond the 64^7 µs ≈ 51-day horizon. A second
-        // event demotes the first out of the solo slot so it actually
-        // exercises the overflow list.
+        // 100 days: beyond the 64^7 µs ≈ 51-day horizon. Lone events
+        // park in the sparse heap; filling past its capacity spills
+        // them into the wheel, which banishes this one to overflow.
         let huge = SimTime::from_micros(100 * 24 * 3600 * 1_000_000);
         s.schedule_at(huge, a, 9);
-        assert_eq!(s.stats().overflow_filed, 0, "a lone event parks in the solo slot");
-        s.schedule_at(SimTime::from_secs(1), a, 1);
+        assert_eq!(s.stats().overflow_filed, 0, "a lone event parks in the sparse heap");
+        for i in 0..SPARSE_MAX as u32 {
+            s.schedule_at(SimTime::from_secs(1), a, 100 + i);
+        }
         assert_eq!(s.stats().overflow_filed, 1);
         assert_eq!(s.next_event_time(), Some(SimTime::from_secs(1)));
-        assert_eq!(s.pop_due().unwrap().msg, 1);
+        for i in 0..SPARSE_MAX as u32 {
+            let ev = s.pop_due().unwrap();
+            assert_eq!((ev.at, ev.msg), (SimTime::from_secs(1), 100 + i));
+        }
         let ev = s.pop_due().unwrap();
         assert_eq!((ev.at, ev.msg), (huge, 9));
         assert_eq!(s.now(), huge);
@@ -799,16 +944,44 @@ mod tests {
     fn advance_refiles_stale_slots() {
         let mut s = Scheduler::new();
         let a = ActorId::from_index(0);
-        // File an event, then jump the clock so its slot index equals
-        // the new clock digit at its level (the "stale slot" hazard):
-        // a later-scheduled nearer event must still pop first.
-        s.schedule_at(SimTime::from_micros(0x125), a, 1);
+        // Fill past the sparse-heap capacity so events actually file
+        // into the wheel, then jump the clock so their slot index
+        // equals the new clock digit at that level (the "stale slot"
+        // hazard): a later-scheduled nearer event must still pop first.
+        for i in 0..=SPARSE_MAX as u32 {
+            s.schedule_at(SimTime::from_micros(0x125), a, i);
+        }
         s.advance_to(SimTime::from_micros(0x121));
-        s.schedule_at(SimTime::from_micros(0x123), a, 2);
-        assert_eq!(
-            drain_order(&mut s),
-            vec![(SimTime::from_micros(0x123), 2), (SimTime::from_micros(0x125), 1)]
-        );
+        s.schedule_at(SimTime::from_micros(0x123), a, 999);
+        let order = drain_order(&mut s);
+        assert_eq!(order[0], (SimTime::from_micros(0x123), 999));
+        assert_eq!(order.len(), SPARSE_MAX + 2);
+        let expect: Vec<(SimTime, u32)> =
+            (0..=SPARSE_MAX as u32).map(|i| (SimTime::from_micros(0x125), i)).collect();
+        assert_eq!(&order[1..], &expect[..], "stale-slot events must drain FIFO");
+    }
+
+    #[test]
+    fn sparse_heap_spills_to_wheel_and_returns() {
+        let mut s = Scheduler::new();
+        let a = ActorId::from_index(0);
+        // Pseudo-random times across the sparse/dense boundary: order
+        // must be (at, seq) regardless of which regime holds an event.
+        let times: Vec<u64> = (0..2 * SPARSE_MAX as u64).map(|i| (i * 2654435761) % 5000).collect();
+        for (i, &t) in times.iter().enumerate() {
+            s.schedule_at(SimTime::from_micros(t), a, i as u32);
+        }
+        assert!(wheel_events(&s) > 0, "spill must engage the wheel");
+        let order = drain_order(&mut s);
+        let mut expect: Vec<(SimTime, u32)> =
+            times.iter().enumerate().map(|(i, &t)| (SimTime::from_micros(t), i as u32)).collect();
+        expect.sort_by_key(|&(at, i)| (at, i));
+        assert_eq!(order, expect);
+        // The wheel has drained completely: the next schedule re-enters
+        // the sparse regime and never touches the filing machinery.
+        s.schedule_at(SimTime::from_secs(10), a, 7);
+        assert_eq!(wheel_events(&s), 0, "post-drain schedules re-enter the sparse heap");
+        assert_eq!(s.pop_due().unwrap().msg, 7);
     }
 
     #[test]

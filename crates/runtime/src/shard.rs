@@ -24,6 +24,41 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Wall-clock accounting for one [`run_shards_costed_in`] call: how
+/// long each shard ran and how busy each worker was. Balance is the
+/// figure campus benchmarks report — a run where one worker carries a
+/// 100× ward while the rest idle shows up as `balance() ≪ 1`.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct ShardStats {
+    /// Worker threads actually used (1 = serial fallback).
+    pub workers: usize,
+    /// Per-shard wall-clock seconds, in input order.
+    pub shard_secs: Vec<f64>,
+    /// Per-worker busy seconds (sum of its shards), sorted descending
+    /// so the report is independent of thread scheduling order.
+    pub worker_secs: Vec<f64>,
+}
+
+impl ShardStats {
+    /// Mean worker busy time divided by the busiest worker's time, in
+    /// `(0, 1]`. `1.0` means perfectly level; `1/workers` means one
+    /// worker did everything while the others idled.
+    pub fn balance(&self) -> f64 {
+        let max = self.worker_secs.first().copied().unwrap_or(0.0);
+        if max <= 0.0 || self.worker_secs.is_empty() {
+            return 1.0;
+        }
+        let mean: f64 = self.worker_secs.iter().sum::<f64>() / self.worker_secs.len() as f64;
+        mean / max
+    }
+
+    /// Total busy seconds across all workers.
+    pub fn busy_secs(&self) -> f64 {
+        self.worker_secs.iter().sum()
+    }
+}
 
 /// Maps `f` over `items` using up to one worker thread per core,
 /// returning results in input order.
@@ -112,6 +147,130 @@ where
         .collect()
 }
 
+/// [`run_shards_with`] plus sorted-by-cost dispatch and wall-clock
+/// accounting. `costs[i]` is a relative cost estimate for `items[i]`
+/// (any monotone proxy works — bed count, scheduled events, simulated
+/// hours); expensive shards are handed out **first** so a single 100×
+/// ward among cheap ones starts immediately instead of landing on a
+/// worker that already has a full queue behind it (greedy LPT
+/// scheduling via the shared cursor). Results are still returned in
+/// input order and remain byte-identical to the serial map — dispatch
+/// order is invisible to the output by the shard contract.
+///
+/// Uses one worker per core; see [`run_shards_costed_in`] to pin the
+/// worker count explicitly (tests on single-core hosts use this to
+/// exercise the parallel path).
+pub fn run_shards_costed<T, R, S, I, F>(
+    items: Vec<T>,
+    costs: &[u64],
+    init: I,
+    f: F,
+) -> (Vec<R>, ShardStats)
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    run_shards_costed_in(items, costs, workers, init, f)
+}
+
+/// [`run_shards_costed`] with an explicit worker count. `workers` is
+/// clamped to `[1, items.len()]`; `1` takes the serial path.
+///
+/// # Panics
+///
+/// Panics if `costs.len() != items.len()`; propagates a panic from
+/// `init` or `f` after all workers finish.
+pub fn run_shards_costed_in<T, R, S, I, F>(
+    items: Vec<T>,
+    costs: &[u64],
+    workers: usize,
+    init: I,
+    f: F,
+) -> (Vec<R>, ShardStats)
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    assert_eq!(costs.len(), items.len(), "one cost per shard");
+    let n = items.len();
+    let workers = workers.clamp(1, n.max(1));
+
+    if workers <= 1 {
+        let mut state = init();
+        let mut shard_secs = Vec::with_capacity(n);
+        let results = items
+            .into_iter()
+            .map(|item| {
+                let t0 = Instant::now();
+                let r = f(&mut state, item);
+                shard_secs.push(t0.elapsed().as_secs_f64());
+                r
+            })
+            .collect();
+        let busy = shard_secs.iter().sum();
+        return (results, ShardStats { workers: 1, shard_secs, worker_secs: vec![busy] });
+    }
+
+    // Dispatch order: descending cost, ties by ascending input index so
+    // the order (and thus the timing profile) is reproducible.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
+
+    let work: Vec<Mutex<Option<T>>> =
+        items.into_iter().map(|item| Mutex::new(Some(item))).collect();
+    let slots: Vec<Mutex<Option<(R, f64)>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let busy: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(workers));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut state = init();
+                let mut my_busy = 0.0f64;
+                loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= n {
+                        break;
+                    }
+                    let idx = order[k];
+                    let item = work[idx]
+                        .lock()
+                        .expect("work slot poisoned")
+                        .take()
+                        .expect("work item taken twice");
+                    let t0 = Instant::now();
+                    let result = f(&mut state, item);
+                    let secs = t0.elapsed().as_secs_f64();
+                    my_busy += secs;
+                    *slots[idx].lock().expect("result slot poisoned") = Some((result, secs));
+                }
+                busy.lock().expect("busy list poisoned").push(my_busy);
+            });
+        }
+    });
+
+    let mut shard_secs = Vec::with_capacity(n);
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            let (r, secs) = slot
+                .into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without producing a result");
+            shard_secs.push(secs);
+            r
+        })
+        .collect();
+    let mut worker_secs = busy.into_inner().expect("busy list poisoned");
+    worker_secs.sort_by(|a, b| b.partial_cmp(a).expect("busy times are finite"));
+    (results, ShardStats { workers, shard_secs, worker_secs })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +325,72 @@ mod tests {
         // passed through.
         let out = run_shards_with(vec![5u32], || 10u32, |s, x| x + *s);
         assert_eq!(out, vec![15]);
+    }
+
+    #[test]
+    fn costed_one_heavy_shard_among_cheap_matches_serial() {
+        // The pathological balance case from the campus workload: one
+        // 100× shard among 63 cheap ones. Parallel output (explicit
+        // 4-worker override, so this exercises the parallel path even
+        // on a single-core host) must be byte-identical to the serial
+        // map, and the heavy shard must be dispatched first.
+        let items: Vec<u64> = (0..64).collect();
+        let costs: Vec<u64> = items.iter().map(|&i| if i == 37 { 100 } else { 1 }).collect();
+        let serial: Vec<u64> = items
+            .iter()
+            .map(|&s| {
+                let spins = if s == 37 { 100 } else { 1 };
+                (0..spins).fold(s, |acc, k| splitmix(acc ^ k))
+            })
+            .collect();
+        let (parallel, stats) = run_shards_costed_in(
+            items,
+            &costs,
+            4,
+            || (),
+            |(), s: u64| {
+                let spins = if s == 37 { 100 } else { 1 };
+                (0..spins).fold(s, |acc, k| splitmix(acc ^ k))
+            },
+        );
+        assert_eq!(serial, parallel);
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.shard_secs.len(), 64);
+        assert_eq!(stats.worker_secs.len(), 4);
+        assert!(stats.balance() > 0.0 && stats.balance() <= 1.0);
+    }
+
+    #[test]
+    fn costed_serial_fallback_and_stats() {
+        let items: Vec<u64> = (0..8).collect();
+        let costs = vec![1u64; 8];
+        let (out, stats) = run_shards_costed_in(
+            items,
+            &costs,
+            1,
+            || 0u64,
+            |s, x| {
+                *s += 1; // scratch carries a counter; output ignores it
+                splitmix(x)
+            },
+        );
+        assert_eq!(out, (0..8).map(splitmix).collect::<Vec<_>>());
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.worker_secs.len(), 1);
+        assert!((stats.busy_secs() - stats.worker_secs[0]).abs() < 1e-12);
+        assert!((stats.balance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one cost per shard")]
+    fn costed_rejects_mismatched_costs() {
+        let _ = run_shards_costed_in(vec![1u64, 2], &[1u64], 2, || (), |(), x: u64| x);
+    }
+
+    #[test]
+    fn balance_of_idle_workers() {
+        let stats = ShardStats { workers: 2, shard_secs: vec![], worker_secs: vec![0.0, 0.0] };
+        assert!((stats.balance() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -268,8 +268,16 @@ enum Lookup {
 }
 
 impl IdTable {
-    fn new() -> Self {
-        IdTable { slots: vec![EMPTY; 1024], len: 0 }
+    /// A table pre-sized to hold `expected` states without growing —
+    /// each `grow` rehashes every interned state, so a bounded search
+    /// that knows its budget should pay for the slots once up front.
+    /// Capacity is clamped to \[1024, 2^22\] slots (16 MiB of ids) so an
+    /// unbounded budget doesn't pre-commit the address space; beyond
+    /// the clamp the table grows as usual.
+    fn with_capacity(expected: usize) -> Self {
+        let want = (expected.saturating_mul(10) / 7).saturating_add(1);
+        let cap = want.clamp(1024, 1 << 22).next_power_of_two();
+        IdTable { slots: vec![EMPTY; cap], len: 0 }
     }
 
     fn len(&self) -> usize {
@@ -655,7 +663,7 @@ impl<'n> Engine<'n> {
             MonitorVerdict::Ok(p) => p,
         };
         let mut search = Search {
-            table: IdTable::new(),
+            table: IdTable::with_capacity(max_states),
             arena: StateArena::new(w),
             parents: Vec::new(),
             frontier: Vec::new(),
@@ -913,7 +921,7 @@ mod tests {
     #[test]
     fn arena_and_table_intern_distinct_states() {
         let mut arena = StateArena::new(1);
-        let mut table = IdTable::new();
+        let mut table = IdTable::with_capacity(0);
         for v in 0..5000u64 {
             match table.lookup_or_insert(&[v], &mut arena, usize::MAX) {
                 Lookup::Inserted(id) => assert_eq!(u64::from(id), v),
@@ -933,7 +941,7 @@ mod tests {
     #[test]
     fn table_respects_budget() {
         let mut arena = StateArena::new(1);
-        let mut table = IdTable::new();
+        let mut table = IdTable::with_capacity(0);
         for v in 0..3u64 {
             assert!(matches!(table.lookup_or_insert(&[v], &mut arena, 3), Lookup::Inserted(_)));
         }
