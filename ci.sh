@@ -18,8 +18,10 @@
 #      dispatch path allocates, or past its wall-clock ceiling
 #   6. checker conformance tests                — packed engine ==
 #      reference engine, serial == parallel (bit-identical)
-#   7. checker smoke budget                     — bench_checker fails if
+#   7. checker smoke + property gate            — bench_checker fails if
 #      state_space_bound20 regresses past a generous wall-clock ceiling
+#      or if ANY E13 failover property verdict is wrong (the three
+#      protocol properties must hold, the seeded mutants must violate)
 #   8. network fabric smoke budget              — bench_fabric fails if
 #      the routing/256 fan-out workload regresses past its ceiling, and
 #      BENCH_net.json must be emitted
@@ -76,10 +78,10 @@ echo "wheel/heap conformance hashes match, zero steady-state allocs (target/BENC
 echo "== checker conformance (packed vs reference, serial vs parallel) =="
 cargo test -q -p mcps-safety --release --test packed_engine
 
-echo "== checker smoke budget =="
+echo "== checker smoke budget + E13 failover property gate =="
 cargo build --release -q -p mcps-bench --bin bench_checker
 ./target/release/bench_checker --out target/BENCH_checker.json --max-ms 10000 > /dev/null
-echo "state_space_bound20 under the 10s ceiling (target/BENCH_checker.json)"
+echo "all E13 failover verdicts as proved; state_space_bound20 under the 10s ceiling (target/BENCH_checker.json)"
 
 echo "== network fabric smoke budget =="
 cargo build --release -q -p mcps-bench --bin bench_fabric

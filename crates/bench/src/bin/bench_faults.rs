@@ -17,7 +17,7 @@
 //! nonzero on any invariant violation — a safety regression fails CI
 //! outright, not just the scorecard diff.
 
-use mcps_bench::campaign::{build_grid, run_campaign, CampaignConfig};
+use mcps_bench::campaign::{build_grid, mined_failover_cells, run_campaign, CampaignConfig};
 use mcps_bench::{fnum, Args, Table};
 use std::time::Instant;
 
@@ -31,9 +31,11 @@ fn main() {
     let mut cfg = if quick { CampaignConfig::quick(seed) } else { CampaignConfig::full(seed) };
     cfg.trials = args.get_u64("trials", cfg.trials).max(1);
 
-    let cells = build_grid(&cfg).len();
+    let mined = mined_failover_cells().len();
+    let cells = build_grid(&cfg).len() + mined;
     println!(
-        "fault campaign: {cells} cells × {} patient(s), {:.0} s simulated each{}",
+        "fault campaign: {cells} cells ({mined} mined from E13 traces) × {} patient(s), \
+         {:.0} s simulated each{}",
         cfg.trials,
         cfg.run.as_secs_f64(),
         if quick { " (quick grid)" } else { "" },

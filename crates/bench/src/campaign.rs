@@ -35,10 +35,20 @@
 //! outside the injected fault's window (plus settling grace) — are
 //! counted per cell; in fault-free control cells every entry is
 //! spurious.
+//!
+//! On top of the swept grid, the campaign carries **mined cells**:
+//! fault schedules extracted from counterexample traces of the E13
+//! failover model checker ([`mined_failover_cells`]). The checker found
+//! these schedules adversarially — they are the exact timings that
+//! break a *mutated* design — so replaying them against the real
+//! implementation is a permanent regression fence that random grid
+//! sweeps would only hit by luck.
 
 use mcps_core::scenarios::pca::{run_pca_scenario, PcaScenarioConfig, PcaScenarioOutcome};
 use mcps_device::faults::{FaultKind, FaultPlan};
 use mcps_patient::cohort::{CohortConfig, CohortGenerator};
+use mcps_safety::models::check_failover_variant;
+use mcps_safety::{FailoverModelVariant, Step};
 use mcps_sim::stats::Summary;
 use mcps_sim::time::{SimDuration, SimTime};
 use serde::Serialize;
@@ -268,6 +278,80 @@ pub fn build_grid(cfg: &CampaignConfig) -> Vec<CellSpec> {
         }
     }
     cells
+}
+
+/// Exploration budget for the trace miner. The reduced `UnfencedPump`
+/// space is under 4k states, so this never exhausts.
+const MINER_BUDGET: usize = 200_000;
+
+/// Anchor for mined schedules: the checker's relative instants are
+/// shifted to mid-therapy, matching the grid's canonical onset.
+const MINED_ANCHOR_SECS: u64 = 600;
+
+/// The crash / promotion / recovery instants (model seconds, relative
+/// to the start of the counterexample) mined from the `UnfencedPump`
+/// trace, with the recovery clamped past the promotion.
+fn mine_unfenced_schedule() -> Option<(u64, u64, u64)> {
+    let out = check_failover_variant(FailoverModelVariant::UnfencedPump, MINER_BUDGET);
+    let trace = out.trace()?;
+    let mut t = 0u64;
+    let (mut crash, mut promote, mut recover) = (None, None, None);
+    for step in &trace.steps {
+        match step {
+            Step::Delay => t += 1,
+            Step::Edge { automaton, label } => {
+                if automaton == "primary" && label == "crash" {
+                    crash.get_or_insert(t);
+                }
+                if automaton == "primary" && label == "recover" {
+                    recover.get_or_insert(t);
+                }
+                if automaton == "standby" && label == "promote" {
+                    promote.get_or_insert(t);
+                }
+            }
+            Step::Sync { .. } => {}
+        }
+    }
+    let (crash, promote, recover) = (crash?, promote?, recover?);
+    // In the model the recovery may *race* the promotion by up to one
+    // network hop (both are legal interleavings); the implementation's
+    // prompt checkpoint delivery would reset the standby's silence
+    // clock and avert the failover entirely. Clamp the mined recovery
+    // to two seconds past the promotion so the replayed schedule keeps
+    // the property-relevant ordering: promote first, then recover.
+    Some((crash, promote, recover.max(promote + 2)))
+}
+
+/// Mines the E13 `UnfencedPump` counterexample into a permanent
+/// campaign regression cell.
+///
+/// The mutant removes the pump's epoch fence; the checker's shortest
+/// counterexample is then the tightest crash-promote-recover schedule
+/// that puts two live controllers in front of the pump. Replaying that
+/// schedule against the *real* (fenced) implementation pins the fence:
+/// the standby must promote inside the mined window, the recovered
+/// ex-primary's stale traffic must be rejected, and no same-epoch
+/// double actuation may occur. Returns an empty vector only if the
+/// mutant stops violating — which the `mcps-safety` expected-verdict
+/// tests would already flag as a model regression.
+pub fn mined_failover_cells() -> Vec<CellSpec> {
+    let Some((crash, _promote, recover)) = mine_unfenced_schedule() else {
+        return Vec::new();
+    };
+    let onset = SimTime::from_secs(MINED_ANCHOR_SECS + crash);
+    let until = SimTime::from_secs(MINED_ANCHOR_SECS + recover);
+    vec![CellSpec {
+        id: format!("pca/mined-unfenced/on{}/d{}", onset.as_millis() / 1000, recover - crash),
+        kind_label: "mined-sup-crash",
+        fault: Some(FaultKind::SupervisorCrash),
+        target: FaultTarget::Supervisor,
+        onset,
+        until: Some(until),
+        outage: None,
+        backup: false,
+        invariant: InvariantClass::Failover,
+    }]
 }
 
 /// Distribution summary of time-to-fail-safe across a cell's trials.
@@ -569,7 +653,8 @@ pub fn run_cell(spec: &CellSpec, cfg: &CampaignConfig) -> CellReport {
 /// internally deterministic, so the report is reproducible for a given
 /// seed regardless of worker count).
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
-    let grid = build_grid(cfg);
+    let mut grid = build_grid(cfg);
+    grid.extend(mined_failover_cells());
     let cfg_ref = cfg.clone();
     let cells = parallel_map(grid, move |spec| run_cell(&spec, &cfg_ref));
     let total_violations = cells.iter().map(|c| c.violations).sum();
@@ -641,6 +726,46 @@ mod tests {
         assert!(report.failovers >= 1, "the standby must promote");
         assert_eq!(report.double_actuations, 0);
         assert_eq!(report.spurious_degradations, 0);
+    }
+
+    #[test]
+    fn mined_cell_schedule_derives_from_the_model_trace() {
+        use mcps_safety::timing::PROMOTION_SILENCE_SECS;
+        let (crash, promote, recover) = mine_unfenced_schedule()
+            .expect("the unfenced-pump mutant must yield a counterexample to mine");
+        // The mined schedule must preserve the counterexample's shape:
+        // a full silence window between crash and promotion, and the
+        // recovery clamped strictly past the promotion.
+        assert!(promote > crash + u64::from(PROMOTION_SILENCE_SECS), "early promotion");
+        assert!(recover > promote, "recovery must land after the promotion");
+        let cells = mined_failover_cells();
+        assert_eq!(cells.len(), 1, "exactly one mined regression cell");
+        let cell = &cells[0];
+        assert_eq!(cell.fault, Some(FaultKind::SupervisorCrash));
+        assert_eq!(cell.target, FaultTarget::Supervisor);
+        assert_eq!(cell.invariant, InvariantClass::Failover);
+        assert_eq!(cell.onset, SimTime::from_secs(MINED_ANCHOR_SECS + crash));
+        assert_eq!(cell.until, Some(SimTime::from_secs(MINED_ANCHOR_SECS + recover)));
+        // The checker is deterministic, so the mined cell is too —
+        // reruns must not churn the committed scorecard.
+        let again = mined_failover_cells();
+        assert_eq!(cell.id, again[0].id);
+        assert_eq!(cell.onset, again[0].onset);
+        assert_eq!(cell.until, again[0].until);
+    }
+
+    #[test]
+    fn mined_cell_replays_clean_on_the_fenced_implementation() {
+        let mut cfg = CampaignConfig::quick(5);
+        cfg.run = SimDuration::from_mins(15);
+        let spec = mined_failover_cells().pop().expect("mined cell");
+        let report = run_cell(&spec, &cfg);
+        assert_eq!(report.violations, 0, "reasons: {:?}", report.violation_reasons);
+        assert!(report.failovers >= 1, "the mined crash window must promote the standby");
+        assert_eq!(
+            report.double_actuations, 0,
+            "the epoch fence must reject the recovered ex-primary's stale traffic"
+        );
     }
 
     #[test]

@@ -39,10 +39,18 @@ const APPLIED_ID_WINDOW: usize = 64;
 /// Default supervision deadline of the device-local fail-safe watchdog:
 /// a pump that hears neither a heartbeat nor a command for this long
 /// suspends bolus delivery autonomously. Three missed 5 s heartbeats —
-/// long enough to ride out a supervisor failover (promotion fires after
-/// ~10 s of checkpoint silence), short enough that an unsupervised pump
-/// cannot keep granting boluses for a dangerous stretch.
-pub const LOCAL_FAILSAFE_DEADLINE: SimDuration = SimDuration::from_secs(15);
+/// short enough that an unsupervised pump cannot keep granting boluses
+/// for a dangerous stretch. A *worst-case* clean failover overshoots
+/// this by one second (promotion fires after ~11 s of checkpoint
+/// silence, and the last pre-crash heartbeat can predate that silence
+/// by a full period — see
+/// [`mcps_safety::timing::WORST_CLEAN_FAILOVER_SECS`]), so a transient
+/// latch during failover is by design and is released by the promoted
+/// supervisor's first acked heartbeat. Shared with the verified
+/// failover model via
+/// [`mcps_safety::timing::LOCAL_FAILSAFE_DEADLINE_SECS`].
+pub const LOCAL_FAILSAFE_DEADLINE: SimDuration =
+    SimDuration::from_secs(mcps_safety::timing::LOCAL_FAILSAFE_DEADLINE_SECS as u64);
 
 /// Sliding window of recently applied commands, keyed by
 /// `(epoch, id)` so a post-failover command can never be confused with

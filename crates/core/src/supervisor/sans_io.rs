@@ -24,6 +24,7 @@ use mcps_device::faults::{FaultKind, FaultPlan};
 use mcps_device::profile::CommandKind;
 use mcps_net::fabric::{EndpointId, Topic};
 use mcps_net::monitor::DeadlineTracker;
+use mcps_safety::timing;
 use mcps_sim::rng::SimRng;
 use mcps_sim::time::{SimDuration, SimTime};
 
@@ -46,32 +47,44 @@ const RETRY_BASE: SimDuration = SimDuration::from_secs(2);
 pub(crate) const MAX_RETRIES: u32 = 3;
 
 /// How long the system must look healthy (fully associated, fresh data
-/// on every stream) before degraded mode is exited.
-const DEGRADED_EXIT_HYSTERESIS: SimDuration = SimDuration::from_secs(15);
+/// on every stream) before degraded mode is exited. Shared with the
+/// verified failover model via [`timing::DEGRADED_EXIT_HYSTERESIS_SECS`].
+const DEGRADED_EXIT_HYSTERESIS: SimDuration =
+    SimDuration::from_secs(timing::DEGRADED_EXIT_HYSTERESIS_SECS as u64);
 
 /// Data younger than this counts as "fresh" for the degraded-mode exit
 /// check (streams publish at ~1 Hz; this tolerates jitter and loss).
 const EXIT_FRESHNESS: SimDuration = SimDuration::from_secs(5);
 
 /// How often an active supervisor heartbeats every stop-capable device.
-/// Three missed beats fit inside the pump's 15 s local fail-safe
-/// deadline, so a healthy but lossy channel does not trip the latch.
-pub const HEARTBEAT_PERIOD: SimDuration = SimDuration::from_secs(5);
+/// Shared with the verified failover model via
+/// [`timing::HEARTBEAT_SECS`]; two missed beats still fit inside the
+/// pump's 15 s local fail-safe deadline, so a healthy but lossy channel
+/// does not trip the latch.
+pub const HEARTBEAT_PERIOD: SimDuration = SimDuration::from_secs(timing::HEARTBEAT_SECS as u64);
 
 /// How often a redundant primary replicates its state to the standby.
-const CHECKPOINT_PERIOD: SimDuration = SimDuration::from_secs(2);
+/// Shared with the verified failover model via
+/// [`timing::CHECKPOINT_SECS`].
+const CHECKPOINT_PERIOD: SimDuration = SimDuration::from_secs(timing::CHECKPOINT_SECS as u64);
 
 /// Consecutive missed checkpoints before a standby declares the primary
-/// dead and promotes itself (5 × 2 s = a 10 s failover trigger, inside
-/// the pump's 15 s watchdog so a clean failover never latches it).
-const MISSED_CHECKPOINT_LIMIT: u64 = 5;
+/// dead and promotes itself (5 × 2 s = a 10 s failover trigger). Note
+/// that a *worst-case* clean failover still overshoots the pump's 15 s
+/// watchdog by one second — see [`timing::WORST_CLEAN_FAILOVER_SECS`]
+/// — so the pump may transiently latch basal-only mid-failover; the
+/// promoted supervisor's first acked heartbeat releases it. The E13
+/// model checks both the transient and the bounded release.
+const MISSED_CHECKPOINT_LIMIT: u64 = timing::MISSED_CHECKPOINT_LIMIT as u64;
 
 /// A heartbeat-ack gap at least this long means the device's local
 /// fail-safe watchdog (same deadline) has latched in the meantime; the
 /// supervisor owes it an explicit `ResumePump` once supervision is
 /// re-established and the system is not otherwise degraded. Mirrors
-/// `LOCAL_FAILSAFE_DEADLINE` in the actor layer.
-const FAILSAFE_RELEASE_GAP: SimDuration = SimDuration::from_secs(15);
+/// `LOCAL_FAILSAFE_DEADLINE` in the actor layer; both come from
+/// [`timing::FAILSAFE_RELEASE_GAP_SECS`].
+const FAILSAFE_RELEASE_GAP: SimDuration =
+    SimDuration::from_secs(timing::FAILSAFE_RELEASE_GAP_SECS as u64);
 
 /// Role of a supervisor in a redundant pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1089,6 +1102,70 @@ mod tests {
             "first primary tick must heartbeat the stop-capable pump: {:?}",
             out.sends
         );
+    }
+
+    /// Satellite of the E13 failover verification: the implementation's
+    /// timing constants must be the model's timing constants. Both sides
+    /// now *derive* from [`mcps_safety::timing`], so this pins against
+    /// someone re-hardcoding a literal on either side.
+    #[test]
+    fn failover_timing_matches_the_verified_model() {
+        assert_eq!(HEARTBEAT_PERIOD, SimDuration::from_secs(timing::HEARTBEAT_SECS as u64));
+        assert_eq!(CHECKPOINT_PERIOD, SimDuration::from_secs(timing::CHECKPOINT_SECS as u64));
+        assert_eq!(MISSED_CHECKPOINT_LIMIT, timing::MISSED_CHECKPOINT_LIMIT as u64);
+        assert_eq!(
+            CHECKPOINT_PERIOD * MISSED_CHECKPOINT_LIMIT,
+            SimDuration::from_secs(timing::PROMOTION_SILENCE_SECS as u64),
+            "the standby's promotion trigger is the model's silence window"
+        );
+        assert_eq!(
+            FAILSAFE_RELEASE_GAP,
+            SimDuration::from_secs(timing::FAILSAFE_RELEASE_GAP_SECS as u64)
+        );
+        assert_eq!(
+            DEGRADED_EXIT_HYSTERESIS,
+            SimDuration::from_secs(timing::DEGRADED_EXIT_HYSTERESIS_SECS as u64)
+        );
+        assert_eq!(
+            crate::actors::LOCAL_FAILSAFE_DEADLINE,
+            SimDuration::from_secs(timing::LOCAL_FAILSAFE_DEADLINE_SECS as u64)
+        );
+    }
+
+    /// Startup grace (E13 satellite): a standby admitted long before its
+    /// primary's first checkpoint must not spuriously promote on its
+    /// first ticks — the silence clock is seeded at the first tick, not
+    /// at time zero. The model expresses the same invariant (the
+    /// `NoStartupGrace` mutant violates it); this pins the
+    /// implementation side.
+    #[test]
+    fn standby_booting_before_first_checkpoint_does_not_promote() {
+        let (core, _dev, mut rng, mut out) = rig();
+        let mut core = core.with_role(SupervisorRole::Standby).with_redundancy("bed-0");
+        // First tick lands late (the standby was admitted well after
+        // t=0); silence must be measured from here, not from zero.
+        let boot = SimTime::from_secs(200);
+        for s in 0..=timing::PROMOTION_SILENCE_SECS as u64 {
+            out.begin(true);
+            core.handle(boot + SimDuration::from_secs(s), CoreInput::Tick, &mut rng, &mut out);
+            assert_eq!(
+                core.role(),
+                SupervisorRole::Standby,
+                "spurious promotion {s}s after a checkpoint-free boot"
+            );
+            assert_eq!(core.failovers(), 0);
+        }
+        // ... and the grace is a *seed*, not a disable: one second past
+        // the silence window the standby must promote.
+        out.begin(true);
+        core.handle(
+            boot + SimDuration::from_secs(timing::PROMOTION_SILENCE_SECS as u64 + 1),
+            CoreInput::Tick,
+            &mut rng,
+            &mut out,
+        );
+        assert_eq!(core.role(), SupervisorRole::Primary, "silence from boot must still promote");
+        assert_eq!(core.failovers(), 1);
     }
 
     #[test]

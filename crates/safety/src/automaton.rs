@@ -53,6 +53,20 @@ impl Guard {
         }
     }
 
+    /// Whether the guard constrains `clock` at all (for the checker's
+    /// clock-activity reduction).
+    pub fn mentions(&self, clock: ClockId) -> bool {
+        match self {
+            Guard::True => false,
+            Guard::Ge(c, _)
+            | Guard::Gt(c, _)
+            | Guard::Le(c, _)
+            | Guard::Lt(c, _)
+            | Guard::Eq(c, _) => *c == clock,
+            Guard::And(gs) => gs.iter().any(|g| g.mentions(clock)),
+        }
+    }
+
     /// The largest constant mentioned for `clock` (for ceiling
     /// computation).
     pub fn max_constant(&self, clock: ClockId) -> u32 {

@@ -21,7 +21,7 @@
 //! differential-testing oracle for the packed engine.
 
 use crate::automaton::{Action, Automaton};
-use crate::pack::{Engine, ExploreMode, ExploreStats, PackedLayout};
+use crate::pack::{Engine, ExploreMode, ExploreStats, PackedLayout, Reduction};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -382,7 +382,23 @@ impl Network {
         max_states: usize,
         mode: ExploreMode,
     ) -> (CheckOutcome, ExploreStats) {
-        Engine::new(self, 1).explore(max_states, mode, &|view: &StateView<'_>, _| {
+        self.check_safety_stats_reduced(bad, max_states, mode, Reduction::None)
+    }
+
+    /// [`Self::check_safety_stats`] with an explicit [`Reduction`].
+    ///
+    /// With [`Reduction::ClockActive`], the `bad` predicate must not
+    /// read clocks through [`StateView::clock`] unless the owning
+    /// automaton constrains them in the relevant locations — inactive
+    /// clocks are normalized to their ceiling.
+    pub fn check_safety_stats_reduced(
+        &self,
+        bad: impl Fn(&StateView<'_>) -> bool + Sync,
+        max_states: usize,
+        mode: ExploreMode,
+        reduction: Reduction,
+    ) -> (CheckOutcome, ExploreStats) {
+        Engine::new(self, 1, reduction).explore(max_states, mode, &|view: &StateView<'_>, _| {
             if bad(view) {
                 MonitorVerdict::Bad
             } else {
@@ -428,8 +444,23 @@ impl Network {
         max_states: usize,
         mode: ExploreMode,
     ) -> (CheckOutcome, ExploreStats) {
+        self.check_bounded_response_stats_reduced(p, q, deadline, max_states, mode, Reduction::None)
+    }
+
+    /// [`Self::check_bounded_response_stats`] with an explicit
+    /// [`Reduction`]; see [`Self::check_safety_stats_reduced`] for the
+    /// predicate contract.
+    pub fn check_bounded_response_stats_reduced(
+        &self,
+        p: impl Fn(&StateView<'_>) -> bool + Sync,
+        q: impl Fn(&StateView<'_>) -> bool + Sync,
+        deadline: u32,
+        max_states: usize,
+        mode: ExploreMode,
+        reduction: Reduction,
+    ) -> (CheckOutcome, ExploreStats) {
         let monitor = bounded_monitor(p, q, deadline);
-        Engine::new(self, u64::from(deadline) + 2).explore(max_states, mode, &monitor)
+        Engine::new(self, u64::from(deadline) + 2, reduction).explore(max_states, mode, &monitor)
     }
 
     /// First-generation [`Self::check_safety`]: clones whole states

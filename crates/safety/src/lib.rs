@@ -11,7 +11,10 @@
 //!   states interned in an arena, with deterministic layer-parallel
 //!   BFS.
 //! * [`models`] — verification models of the PCA safety interlock,
-//!   including seeded design defects (mutants) for experiment E5.
+//!   including seeded design defects (mutants) for experiment E5, and
+//!   of the supervisor failover protocol (experiment E13).
+//! * [`timing`] — the failover timing contract shared by the
+//!   implementation (`mcps-core`) and the verification models.
 //! * [`executor`] — deterministic interpretation of a verified
 //!   automaton (the model-to-runtime / code-generation path).
 //! * [`gsn`] — Goal Structuring Notation assurance cases with
@@ -46,6 +49,7 @@ pub mod hazard;
 pub mod models;
 pub mod pack;
 pub mod requirements;
+pub mod timing;
 
 pub use assurance::build_assurance_case;
 pub use automaton::{Action, Automaton, ClockId, Guard, LocId};
@@ -53,8 +57,8 @@ pub use checker::{CheckOutcome, Network, StateView, Step, Trace};
 pub use executor::{AutomatonExecutor, ExecEvent, NotEnabled};
 pub use gsn::{AssuranceCase, GsnIssue, NodeId, NodeKind};
 pub use hazard::{classify, Hazard, HazardLog, Likelihood, Mitigation, RiskClass, Severity};
-pub use models::PcaModelVariant;
-pub use pack::{ExploreMode, ExploreStats, PackedLayout};
+pub use models::{FailoverModelVariant, PcaModelVariant};
+pub use pack::{ExploreMode, ExploreStats, PackedLayout, Reduction};
 pub use requirements::{
     pca_requirements, Evidence, SafetyRequirement, TraceIssue, TraceabilityMatrix,
     VerificationMethod,

@@ -12,11 +12,23 @@
 //! the discrete-time state space stays comfortable; they preserve the
 //! *ordering* of delays (detection < network < processing < ticket
 //! validity), which is what the properties exercise.
+//!
+//! The [`failover`] submodule models the PR-5 supervisor failover
+//! protocol (heartbeats, checkpoint replication, promotion, epoch
+//! fencing, the pump's 15 s local fail-safe) at its *real* timing
+//! constants, shared with the implementation via [`crate::timing`].
 
 use crate::automaton::{Action, Automaton, Guard, LocId};
 use crate::checker::Network;
 use crate::pack::{ExploreMode, ExploreStats};
 use serde::{Deserialize, Serialize};
+
+pub mod failover;
+
+pub use failover::{
+    check_failover_variant, check_failover_variant_reference, check_failover_variant_stats,
+    failover_model, FailoverModelVariant,
+};
 
 /// Detection latency bound of the monitor (time units).
 pub const DETECT_MAX: u32 = 2;
@@ -122,11 +134,24 @@ fn monitor(ticket_mode: bool) -> Automaton {
     b.build()
 }
 
+/// Loss behaviour of a [`delay_line`].
+#[derive(Clone, Copy)]
+enum LinkLoss<'a> {
+    /// Every accepted message is eventually delivered.
+    Lossless,
+    /// Any accepted message may be silently dropped, at any time.
+    Lossy,
+    /// A message may be dropped only while the named cut channel has a
+    /// willing receiver — i.e. while a partition automaton offering
+    /// `Recv(cut)` is in its partitioned location.
+    Partitionable(&'a str),
+}
+
 /// A one-message delay line for channel `input`, re-emitting on
-/// `output` after a delay in `[NET_MIN, NET_MAX]`. If `lossy`, any
-/// accepted message may also be silently dropped. Messages arriving
-/// while busy are dropped (single-slot queue).
-fn delay_line(name: &str, input: &str, output: &str, lossy: bool) -> Automaton {
+/// `output` after a delay in `[NET_MIN, NET_MAX]`, with the given
+/// [`LinkLoss`] discipline. Messages arriving while busy are dropped
+/// (single-slot queue).
+fn delay_line(name: &str, input: &str, output: &str, loss: LinkLoss<'_>) -> Automaton {
     let mut b = Automaton::builder(name);
     let c = b.clock("d");
     let idle = b.location("Idle");
@@ -136,8 +161,14 @@ fn delay_line(name: &str, input: &str, output: &str, lossy: bool) -> Automaton {
     b.edge("deliver", busy, idle, Guard::Ge(c, NET_MIN), Action::Send(output.into()), vec![]);
     // Overflow: arrivals while busy are dropped.
     b.edge("overflow", busy, busy, Guard::True, Action::Recv(input.into()), vec![]);
-    if lossy {
-        b.edge("lose", busy, idle, Guard::True, Action::Internal, vec![]);
+    match loss {
+        LinkLoss::Lossless => {}
+        LinkLoss::Lossy => {
+            b.edge("lose", busy, idle, Guard::True, Action::Internal, vec![]);
+        }
+        LinkLoss::Partitionable(cut) => {
+            b.edge("lose", busy, idle, Guard::True, Action::Send(cut.into()), vec![]);
+        }
     }
     b.build()
 }
@@ -241,38 +272,38 @@ pub fn pca_model(variant: PcaModelVariant) -> Network {
     match variant {
         PcaModelVariant::CommandReliable => Network::new(vec![
             monitor(false),
-            delay_line("alarm_net", "alarm", "alarm_d", false),
+            delay_line("alarm_net", "alarm", "alarm_d", LinkLoss::Lossless),
             supervisor_command(false),
-            delay_line("cmd_net", "stop", "stop_d", false),
+            delay_line("cmd_net", "stop", "stop_d", LinkLoss::Lossless),
             pump_command(false),
         ]),
         PcaModelVariant::CommandLossy => Network::new(vec![
             monitor(false),
-            delay_line("alarm_net", "alarm", "alarm_d", true),
+            delay_line("alarm_net", "alarm", "alarm_d", LinkLoss::Lossy),
             supervisor_command(false),
-            delay_line("cmd_net", "stop", "stop_d", true),
+            delay_line("cmd_net", "stop", "stop_d", LinkLoss::Lossy),
             pump_command(false),
         ]),
         PcaModelVariant::PumpIgnoresStopDuringBolus => Network::new(vec![
             monitor(false),
-            delay_line("alarm_net", "alarm", "alarm_d", false),
+            delay_line("alarm_net", "alarm", "alarm_d", LinkLoss::Lossless),
             supervisor_command(false),
-            delay_line("cmd_net", "stop", "stop_d", false),
+            delay_line("cmd_net", "stop", "stop_d", LinkLoss::Lossless),
             pump_command(true),
         ]),
         PcaModelVariant::SupervisorUnbounded => Network::new(vec![
             monitor(false),
-            delay_line("alarm_net", "alarm", "alarm_d", false),
+            delay_line("alarm_net", "alarm", "alarm_d", LinkLoss::Lossless),
             supervisor_command(true),
-            delay_line("cmd_net", "stop", "stop_d", false),
+            delay_line("cmd_net", "stop", "stop_d", LinkLoss::Lossless),
             pump_command(false),
         ]),
         PcaModelVariant::TicketLossy => Network::new(vec![
             monitor(true),
-            delay_line("ok_net", "ok", "ok_d", true),
-            delay_line("alarm_net", "alarm", "alarm_d", true),
+            delay_line("ok_net", "ok", "ok_d", LinkLoss::Lossy),
+            delay_line("alarm_net", "alarm", "alarm_d", LinkLoss::Lossy),
             supervisor_ticket(),
-            delay_line("ticket_net", "ticket", "ticket_d", true),
+            delay_line("ticket_net", "ticket", "ticket_d", LinkLoss::Lossy),
             pump_ticket(),
         ]),
     }

@@ -26,9 +26,15 @@
 //!   by differential tests against the retained reference
 //!   implementation ([`Network::check_safety_reference`]).
 //!
+//! An optional **clock-activity reduction** ([`Reduction::ClockActive`])
+//! shrinks the explored space further by normalizing *inactive* clocks
+//! — clocks whose current value cannot influence any guard or
+//! invariant before their next reset — to a canonical value before
+//! interning, merging states that differ only in dead clock readings.
+//!
 //! [`NetState`]: crate::checker::NetState
 
-use crate::automaton::{bits_for, Action, Edge};
+use crate::automaton::{bits_for, Action, ClockId, Edge};
 use crate::checker::{CheckOutcome, MonitorVerdict, NetState, Network, StateView, Step, Trace};
 use fxhash::FxHashMap;
 use std::ops::ControlFlow;
@@ -55,6 +61,90 @@ pub enum ExploreMode {
     /// thread fan-out; serial below that. The default.
     #[default]
     Auto,
+}
+
+/// State-space reduction applied by the exploration engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Reduction {
+    /// Explore the exact product state space — bit-identical to the
+    /// reference engine (states, verdicts, traces). The default.
+    #[default]
+    None,
+    /// Inactive-clock normalization (Daws/Yovine-style clock-activity
+    /// symmetry): a per-location static analysis marks each clock
+    /// *active* where its value can still reach a guard or invariant
+    /// before being reset; everywhere else the clock is normalized to
+    /// its ceiling before the state is interned. States differing only
+    /// in dead clock readings merge, shrinking the space without
+    /// changing any verdict — enabledness never reads an inactive
+    /// clock, and counterexample traces remain real behaviours of the
+    /// unreduced network (they replay on [`Network::replay`]).
+    ///
+    /// Property predicates must not read a clock (via
+    /// [`StateView::clock`]) in locations where its automaton no
+    /// longer constrains it — they would observe the canonical ceiling
+    /// instead of the concrete value.
+    ClockActive,
+}
+
+/// The clock-activity table behind [`Reduction::ClockActive`]: for
+/// every (automaton, location, clock), whether the clock's value can
+/// influence a future guard or invariant before its next reset.
+///
+/// Computed by a backward fixpoint per automaton: a clock is active in
+/// a location if the location's invariant or an outgoing edge's guard
+/// mentions it, or some outgoing edge that does not reset it leads to
+/// a location where it is active.
+#[derive(Debug)]
+struct ClockActivity {
+    /// Per automaton: `active[loc * n_clocks + clock]`.
+    active: Vec<Vec<bool>>,
+}
+
+impl ClockActivity {
+    /// Builds the table, or `None` when every clock is active in every
+    /// location (normalization would be a no-op).
+    fn new(net: &Network) -> Option<ClockActivity> {
+        let mut any_inactive = false;
+        let active: Vec<Vec<bool>> = net
+            .automata()
+            .iter()
+            .map(|a| {
+                let nc = a.clocks().len();
+                let mut act = vec![false; a.locations().len() * nc];
+                for (li, loc) in a.locations().iter().enumerate() {
+                    for c in 0..nc {
+                        act[li * nc + c] = loc.invariant.mentions(ClockId(c));
+                    }
+                }
+                for e in a.edges() {
+                    for c in 0..nc {
+                        if e.guard.mentions(ClockId(c)) {
+                            act[e.from.0 * nc + c] = true;
+                        }
+                    }
+                }
+                let mut changed = true;
+                while changed {
+                    changed = false;
+                    for e in a.edges() {
+                        for c in 0..nc {
+                            if act[e.to.0 * nc + c]
+                                && !act[e.from.0 * nc + c]
+                                && !e.resets.iter().any(|r| r.0 == c)
+                            {
+                                act[e.from.0 * nc + c] = true;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                any_inactive |= act.iter().any(|&b| !b);
+                act
+            })
+            .collect();
+        any_inactive.then_some(ClockActivity { active })
+    }
 }
 
 /// Statistics of one exploration run, for perf baselines and benches.
@@ -447,16 +537,49 @@ pub(crate) struct Engine<'n> {
     net: &'n Network,
     layout: PackedLayout,
     plan: Plan,
+    /// Clock-activity table when [`Reduction::ClockActive`] is on and
+    /// at least one clock is inactive somewhere; `None` otherwise.
+    activity: Option<ClockActivity>,
 }
 
 impl<'n> Engine<'n> {
-    pub(crate) fn new(net: &'n Network, pending_values: u64) -> Self {
-        Engine { net, layout: PackedLayout::new(net, pending_values), plan: Plan::new(net) }
+    pub(crate) fn new(net: &'n Network, pending_values: u64, reduction: Reduction) -> Self {
+        let activity = match reduction {
+            Reduction::None => None,
+            Reduction::ClockActive => ClockActivity::new(net),
+        };
+        Engine {
+            net,
+            layout: PackedLayout::new(net, pending_values),
+            plan: Plan::new(net),
+            activity,
+        }
     }
 
     fn initial_scratch(&self) -> Scratch {
         let locs = self.net.automata().iter().map(|a| a.initial().0 as u16).collect();
-        Scratch { locs, clocks: vec![0; self.plan.ceilings_flat.len()] }
+        let mut s = Scratch { locs, clocks: vec![0; self.plan.ceilings_flat.len()] };
+        for i in 0..self.net.automata().len() {
+            self.normalize_one(&mut s, i);
+        }
+        s
+    }
+
+    /// Normalizes automaton `i`'s inactive clocks (per its current
+    /// location in `s`) to their ceiling — the canonical dead value.
+    /// No-op without an activity table.
+    #[inline]
+    fn normalize_one(&self, s: &mut Scratch, i: usize) {
+        let Some(act) = &self.activity else { return };
+        let table = &act.active[i];
+        let off = self.plan.clock_off[i];
+        let nc = self.net.automata()[i].clocks().len();
+        let base = usize::from(s.locs[i]) * nc;
+        for c in 0..nc {
+            if !table[base + c] {
+                s.clocks[off + c] = self.plan.ceilings_flat[off + c];
+            }
+        }
     }
 
     fn bufs(&self) -> WorkBufs {
@@ -539,6 +662,7 @@ impl<'n> Engine<'n> {
                 if self.enabled(s, i, e, &mut work.tmp) {
                     work.succ.copy_from(s);
                     self.patch(&mut work.succ, i, e);
+                    self.normalize_one(&mut work.succ, i);
                     if let ControlFlow::Break(b) =
                         emit(CStep::Edge { aut: i as u16, edge: ei }, &work.succ)
                     {
@@ -563,6 +687,8 @@ impl<'n> Engine<'n> {
                             work.succ.copy_from(s);
                             self.patch(&mut work.succ, i, e);
                             self.patch(&mut work.succ, j, e2);
+                            self.normalize_one(&mut work.succ, i);
+                            self.normalize_one(&mut work.succ, j);
                             let step = CStep::Sync {
                                 s_aut: i as u16,
                                 s_edge: ei,

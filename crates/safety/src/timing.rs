@@ -1,0 +1,75 @@
+//! The failover timing contract, shared by the implementation and the
+//! verification models.
+//!
+//! These constants define the supervisor/pump failover protocol's
+//! time base: heartbeat and checkpoint cadence, the standby's
+//! missed-checkpoint promotion threshold, and the pump's device-local
+//! fail-safe deadlines. `mcps-core` derives its `SimDuration` timers
+//! from them and `models::failover` builds its integer-clock automata
+//! from them, so the model checker and the runtime verify/execute the
+//! *same* protocol by construction. A conformance test on each side
+//! asserts the derivation (see `sans_io.rs` / `actors.rs` tests and
+//! [`crate::models::failover`]).
+//!
+//! All values are whole seconds (the model's clock unit).
+
+/// Primary → pump heartbeat period.
+pub const HEARTBEAT_SECS: u32 = 5;
+
+/// Primary → standby checkpoint replication period.
+pub const CHECKPOINT_SECS: u32 = 2;
+
+/// Checkpoints the standby must miss before it promotes itself.
+pub const MISSED_CHECKPOINT_LIMIT: u32 = 5;
+
+/// Checkpoint silence (strictly exceeded) that triggers promotion:
+/// [`CHECKPOINT_SECS`] × [`MISSED_CHECKPOINT_LIMIT`].
+pub const PROMOTION_SILENCE_SECS: u32 = CHECKPOINT_SECS * MISSED_CHECKPOINT_LIMIT;
+
+/// Supervision silence at which the pump latches its local fail-safe
+/// and drops to basal-only delivery.
+pub const LOCAL_FAILSAFE_DEADLINE_SECS: u32 = 15;
+
+/// Heartbeat-ack gap at or above which the supervisor proactively
+/// resumes a pump (it may have latched its local fail-safe meanwhile).
+pub const FAILSAFE_RELEASE_GAP_SECS: u32 = 15;
+
+/// Clean sensor data required before the supervisor exits degraded
+/// mode.
+pub const DEGRADED_EXIT_HYSTERESIS_SECS: u32 = 15;
+
+/// Worst-case *clean* failover latency: the primary may die up to one
+/// heartbeat period after it last fed the pump's watchdog, and the
+/// standby needs checkpoint silence *strictly greater* than
+/// [`PROMOTION_SILENCE_SECS`] (one extra second at its 1 Hz tick
+/// granularity) before it promotes.
+///
+/// Note this is **16 s > [`LOCAL_FAILSAFE_DEADLINE_SECS`] (15 s)**: a
+/// maximally unlucky clean failover can transiently latch the pump's
+/// fail-safe before the promoted standby's first heartbeat lands. That
+/// is by design — the pump prefers basal-only over trusting a silent
+/// control plane — and the latch is bounded: the freshly promoted
+/// standby heartbeats immediately and releases the pump on the first
+/// ack (`failovers > 0` ⇒ `ResumePump`). The model checker verifies
+/// the bound ([`crate::models::failover`]'s promotion-liveness
+/// property) and `supervisor::sans_io` pins the transient-latch
+/// schedule as a regression test.
+pub const WORST_CLEAN_FAILOVER_SECS: u32 = HEARTBEAT_SECS + PROMOTION_SILENCE_SECS + 1;
+
+// The orderings the protocol's safety argument relies on, enforced at
+// compile time. If a future tuning breaks one of these, the failover
+// analysis in the module docs (and DESIGN.md E13) must be revisited,
+// not just the constant.
+//
+// Promotion must be detectable before the pump gives up on supervision
+// entirely (silence threshold < failsafe deadline).
+const _: () = assert!(PROMOTION_SILENCE_SECS < LOCAL_FAILSAFE_DEADLINE_SECS);
+// Several heartbeats fit in one release gap, so a live pair never
+// spuriously triggers the proactive resume path.
+const _: () = assert!(FAILSAFE_RELEASE_GAP_SECS >= 2 * HEARTBEAT_SECS);
+// Checkpoints are strictly denser than heartbeats: the standby learns
+// of primary death no later than the pump does.
+const _: () = assert!(CHECKPOINT_SECS < HEARTBEAT_SECS);
+// The documented worst case really does exceed the deadline — the
+// transient-latch regression tests depend on it.
+const _: () = assert!(WORST_CLEAN_FAILOVER_SECS > LOCAL_FAILSAFE_DEADLINE_SECS);

@@ -1,16 +1,33 @@
 //! Conformance tests: the packed-state engine must be observationally
 //! identical to the retained first-generation (reference) engine on the
-//! E5 verification models — same verdicts, same state counts, same
-//! counterexample traces — and the layer-parallel scheduler must be
-//! bit-identical to serial exploration.
+//! E5 verification models and the E13 failover models — same verdicts,
+//! same state counts, same counterexample traces — the layer-parallel
+//! scheduler must be bit-identical to serial exploration, and the
+//! clock-activity reduction must preserve every verdict while shrinking
+//! the explored space.
 
 use mcps_safety::models::{
-    check_pca_variant_reference, check_pca_variant_stats, pca_model, PcaModelVariant,
+    check_failover_variant_reference, check_failover_variant_stats, check_pca_variant_reference,
+    check_pca_variant_stats, failover_model, pca_model, FailoverModelVariant, PcaModelVariant,
 };
-use mcps_safety::pack::ExploreMode;
+use mcps_safety::pack::{ExploreMode, Reduction};
 use mcps_safety::CheckOutcome;
 
 const BUDGET: usize = 2_000_000;
+const FAILOVER_BUDGET: usize = 8_000_000;
+
+/// The failover variants cheap enough for the *unreduced* space to be
+/// explored by the debug-mode reference engine. `SplitBrain` is the
+/// outlier (2.35M unreduced states — tens of seconds even in release);
+/// it joins the lockstep loops only in release runs (ci runs this suite
+/// in release as well), and its reduced check is covered by the
+/// `mcps-safety` unit tests in every profile.
+fn lockstep_variants() -> Vec<FailoverModelVariant> {
+    FailoverModelVariant::ALL
+        .into_iter()
+        .filter(|v| cfg!(not(debug_assertions)) || *v != FailoverModelVariant::SplitBrain)
+        .collect()
+}
 
 /// Every E5 variant (correct designs and seeded mutants): full
 /// `CheckOutcome` equality between the packed engine and the reference
@@ -67,6 +84,86 @@ fn serial_and_parallel_bit_identical_under_exhaustion() {
             let serial = check(ExploreMode::Serial);
             let parallel = check(ExploreMode::Parallel);
             assert_eq!(serial, parallel, "{variant:?} budget {budget}: modes diverged");
+        }
+    }
+}
+
+/// Every E13 failover variant: with the reduction off, full
+/// `CheckOutcome` equality (verdict, trace, state count) between the
+/// packed engine and the reference engine, in every exploration mode.
+#[test]
+fn failover_variants_match_reference_in_all_modes() {
+    for variant in lockstep_variants() {
+        let reference = check_failover_variant_reference(variant, FAILOVER_BUDGET);
+        for mode in [ExploreMode::Serial, ExploreMode::Parallel, ExploreMode::Auto] {
+            let (packed, stats) =
+                check_failover_variant_stats(variant, FAILOVER_BUDGET, mode, Reduction::None);
+            assert_eq!(
+                reference, packed,
+                "{variant:?} in {mode:?} diverged from the reference engine"
+            );
+            assert!(stats.states > 0, "{variant:?}: no states interned");
+        }
+    }
+}
+
+/// The clock-activity reduction is an equivalence, not an
+/// approximation: every failover verdict is identical with the
+/// reduction on and off, violated variants' reduced counterexamples
+/// replay as genuine behaviours of the *unreduced* network, and the
+/// reduced space is strictly smaller on every variant.
+#[test]
+fn failover_reduction_preserves_verdicts_and_shrinks_the_space() {
+    for variant in lockstep_variants() {
+        let (full, full_stats) = check_failover_variant_stats(
+            variant,
+            FAILOVER_BUDGET,
+            ExploreMode::Auto,
+            Reduction::None,
+        );
+        let (red, red_stats) = check_failover_variant_stats(
+            variant,
+            FAILOVER_BUDGET,
+            ExploreMode::Auto,
+            Reduction::ClockActive,
+        );
+        assert_eq!(full.holds(), red.holds(), "{variant:?}: reduction changed the verdict");
+        if let Some(trace) = red.trace() {
+            let net = failover_model(variant);
+            assert!(
+                net.replay(trace).is_some(),
+                "{variant:?}: reduced counterexample does not replay on the unreduced model"
+            );
+        }
+        assert!(
+            red_stats.states < full_stats.states,
+            "{variant:?}: reduction did not shrink the space ({} vs {})",
+            red_stats.states,
+            full_stats.states
+        );
+    }
+}
+
+/// Reduced exploration stays bit-identical between serial and parallel
+/// scheduling — including under budgets that exhaust mid-search, where
+/// insertion order determines the cutoff point.
+#[test]
+fn failover_reduction_modes_agree_under_exhaustion() {
+    for variant in [FailoverModelVariant::PrimaryCrash, FailoverModelVariant::UnfencedPump] {
+        for budget in [100, 5_000, 100_000] {
+            let serial = check_failover_variant_stats(
+                variant,
+                budget,
+                ExploreMode::Serial,
+                Reduction::ClockActive,
+            );
+            let parallel = check_failover_variant_stats(
+                variant,
+                budget,
+                ExploreMode::Parallel,
+                Reduction::ClockActive,
+            );
+            assert_eq!(serial.0, parallel.0, "{variant:?} budget {budget}: modes diverged");
         }
     }
 }
