@@ -93,7 +93,13 @@ fn bench_ingest(samples: u64) -> (IngestReport, u64, u64) {
     let mut host = ServeHost::new(
         command_core(SimDuration::from_secs(30)),
         server_t,
-        ServeConfig { speed: 1.0, ingress_capacity: capacity, trace: false, seed: 3 },
+        ServeConfig {
+            speed: 1.0,
+            ingress_capacity: capacity,
+            trace: false,
+            seed: 3,
+            ..Default::default()
+        },
     );
     // Associate all three slots by announcing real device profiles.
     let ox = mcps_device::monitor::pulse_oximeter("OX-1");
@@ -184,7 +190,13 @@ fn bench_danger_stop(cycles: usize, noise_per_round: u64) -> (LatencyReport, u64
     let host = ServeHost::new(
         command_core(SimDuration::from_secs(3)),
         server_t,
-        ServeConfig { speed: SPEED, ingress_capacity: 256, trace: false, seed: 4 },
+        ServeConfig {
+            speed: SPEED,
+            ingress_capacity: 256,
+            trace: false,
+            seed: 4,
+            ..Default::default()
+        },
     );
     let mut client = PcaBedClient::new(client_t, SPEED);
     client.announce_monitors();

@@ -30,6 +30,20 @@ use crate::netctl::topics;
 /// equivalent of a discovery beacon.
 const ANNOUNCE_PERIOD: SimDuration = SimDuration::from_secs(10);
 
+/// Fast announce cadence for a supervised pump whose supervisor has
+/// gone silent (opt-in via [`PumpActor::with_fast_reannounce`]). A
+/// restarted supervisor learns routes only from announces, and over a
+/// lossy link any single announce may be corrupted in flight — at the
+/// leisurely [`ANNOUNCE_PERIOD`] each loss costs ten more seconds of
+/// unsupervised danger time. Retrying at the heartbeat cadence keeps
+/// worst-case re-association well inside the 30 s danger→stop budget.
+const ANNOUNCE_RETRY: SimDuration = SimDuration::from_secs(2);
+
+/// Supervisory silence that switches an opted-in pump to the
+/// [`ANNOUNCE_RETRY`] cadence: a bit over two missed heartbeats, long
+/// before the [`LOCAL_FAILSAFE_DEADLINE`] watchdog fires.
+const ANNOUNCE_RETRY_SILENCE: SimDuration = SimDuration::from_secs(5);
+
 /// How many recently applied command ids the pump remembers for
 /// idempotence. Supervisor retries reuse the original command id, so a
 /// small window is enough: in-flight ids are bounded by the retry
@@ -112,7 +126,10 @@ pub struct PumpActor {
     /// validity window.
     dedup: CommandDedup,
     duplicate_commands: u64,
-    next_announce: Option<SimTime>,
+    last_announce: Option<SimTime>,
+    /// Retry announces fast while unsupervised (serve-mode clients
+    /// opt in; scripted scenarios keep the fixed cadence).
+    fast_reannounce: bool,
     was_permitted: bool,
     /// Transitions of the delivery-permission state: `(instant, permitted)`.
     permit_log: Vec<(SimTime, bool)>,
@@ -152,7 +169,8 @@ impl PumpActor {
             fault: FaultPlan::none(),
             dedup: CommandDedup::default(),
             duplicate_commands: 0,
-            next_announce: None,
+            last_announce: None,
+            fast_reannounce: false,
             was_permitted: false,
             permit_log: Vec::new(),
             decisions: BTreeMap::new(),
@@ -173,6 +191,18 @@ impl PumpActor {
     /// delivery (basal-only safe state) until an explicit `ResumePump`.
     pub fn with_supervision(mut self, deadline: SimDuration) -> Self {
         self.supervision = Some(deadline);
+        self
+    }
+
+    /// Announce at the fast [`ANNOUNCE_RETRY`] cadence whenever the
+    /// supervision watchdog has been silent past
+    /// [`ANNOUNCE_RETRY_SILENCE`] — so a supervisor restart (or one
+    /// corrupted announce on a lossy link) costs a retry interval of
+    /// re-association time, not a full announce period. Requires
+    /// [`Self::with_supervision`]; without a watchdog there is no
+    /// silence signal and the cadence never changes.
+    pub fn with_fast_reannounce(mut self) -> Self {
+        self.fast_reannounce = true;
         self
     }
 
@@ -283,8 +313,16 @@ impl Actor<IceMsg> for PumpActor {
         let now = ctx.now();
         match msg {
             IceMsg::Tick => {
-                if !self.fault.is_crashed(now) && self.next_announce.is_none_or(|t| now >= t) {
-                    self.next_announce = Some(now + ANNOUNCE_PERIOD);
+                let silent = self.fast_reannounce
+                    && self.supervision.is_some()
+                    && self
+                        .last_supervision
+                        .is_none_or(|t| now.saturating_since(t) >= ANNOUNCE_RETRY_SILENCE);
+                let cadence = if silent { ANNOUNCE_RETRY } else { ANNOUNCE_PERIOD };
+                if !self.fault.is_crashed(now)
+                    && self.last_announce.is_none_or(|t| now.saturating_since(t) >= cadence)
+                {
+                    self.last_announce = Some(now);
                     announce(
                         ctx,
                         self.netctl,

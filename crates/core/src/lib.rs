@@ -55,5 +55,5 @@ pub use body::{PatientActor, PatientBody};
 pub use manager::{AssociationOutcome, DeviceManager};
 pub use msg::{IceCommand, IceMsg, NetAddress, NetOp, NetPayload};
 pub use netctl::NetworkController;
-pub use supervisor::sans_io::{CoreInput, CoreOutputs, SupervisorCore};
+pub use supervisor::sans_io::{CheckpointState, CoreInput, CoreOutputs, SupervisorCore};
 pub use supervisor::{Supervisor, SupervisorRole};

@@ -45,7 +45,9 @@
 
 pub mod sans_io;
 
-pub use sans_io::{CoreInput, CoreOutputs, SupervisorCore, SupervisorRole, HEARTBEAT_PERIOD};
+pub use sans_io::{
+    CheckpointState, CoreInput, CoreOutputs, SupervisorCore, SupervisorRole, HEARTBEAT_PERIOD,
+};
 
 use mcps_device::faults::FaultPlan;
 use mcps_net::fabric::EndpointId;

@@ -86,6 +86,33 @@ const MISSED_CHECKPOINT_LIMIT: u64 = timing::MISSED_CHECKPOINT_LIMIT as u64;
 const FAILSAFE_RELEASE_GAP: SimDuration =
     SimDuration::from_secs(timing::FAILSAFE_RELEASE_GAP_SECS as u64);
 
+/// A snapshot of the supervisor state a successor needs to take over
+/// safely — exactly the fields the PR-5 replication payload carries
+/// ([`NetPayload::Checkpoint`]). Two consumers exist: the in-sim
+/// standby (via the replication topic) and the serve-mode durable
+/// journal, which persists these records across process death so a
+/// restarted `mcps-serve` can [`SupervisorCore::resume_from`] one.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CheckpointState {
+    /// The fencing epoch the snapshot was taken under.
+    pub epoch: u64,
+    /// Next command id the supervisor would assign (high-water mark;
+    /// a successor must never reuse an id a device dedup window may
+    /// still remember).
+    pub next_command_id: u64,
+    /// Whether the supervisor was in degraded mode.
+    pub degraded: bool,
+    /// Whether a stop command had died unconfirmed (pump state
+    /// unknown — a successor must keep probing).
+    pub stop_unconfirmed: bool,
+    /// Command ids still awaiting their acks.
+    pub inflight_ids: Vec<u64>,
+    /// Last data arrival per associated endpoint (freshness view).
+    /// Timeline-relative: meaningful to a standby sharing the clock,
+    /// meaningless to a restarted process (which discards it).
+    pub last_data: Vec<(EndpointId, SimTime)>,
+}
+
 /// Role of a supervisor in a redundant pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SupervisorRole {
@@ -287,6 +314,13 @@ pub struct SupervisorCore {
     pub(crate) stepdowns: u32,
     /// Commands the app asked for while this supervisor was standby.
     pub(crate) standby_suppressed: u64,
+    /// Whether this core was restored from a durable checkpoint (a
+    /// crash-restarted process rather than a warm standby). Restored
+    /// supervisors owe latched devices a `ResumePump` on their first
+    /// heartbeat ack, exactly like a freshly promoted standby: the
+    /// predecessor's silence may well have tripped the device-local
+    /// fail-safe watchdogs.
+    pub(crate) restored: bool,
     pub(crate) hb_sent: u64,
     pub(crate) hb_acked: u64,
     pub(crate) hb_unanswered: u64,
@@ -352,6 +386,7 @@ impl SupervisorCore {
             failovers: 0,
             stepdowns: 0,
             standby_suppressed: 0,
+            restored: false,
             hb_sent: 0,
             hb_acked: 0,
             hb_unanswered: 0,
@@ -389,6 +424,41 @@ impl SupervisorCore {
     /// topic; standbys treat checkpoint silence as primary death.
     pub fn with_redundancy(mut self, scope: &str) -> Self {
         self.replication = Some(topics::replication_scoped(scope));
+        self
+    }
+
+    /// Rebuilds fencing-relevant state from a durably journaled
+    /// checkpoint — the crash-restart constructor behind
+    /// `mcps-serve --journal`.
+    ///
+    /// The restored core takes epoch `ckpt.epoch + 1`, strictly above
+    /// everything the dead predecessor ever stamped, so any of its
+    /// commands still in flight (delayed, duplicated, or replayed by a
+    /// dirty network) are fenced at every device — the same guarantee
+    /// a standby promotion gives. The command-id high-water mark is
+    /// inherited so no device dedup window ever sees a reused
+    /// `(epoch, id)`, and the degraded / stop-unconfirmed latches are
+    /// adopted so a restart cannot silently forget an active alarm or
+    /// an unconfirmed pump state. Timeline-relative state
+    /// (`last_data`) is deliberately discarded: the restarted process
+    /// starts a fresh clock and devices re-announce and re-stream.
+    pub fn resume_from(mut self, ckpt: &CheckpointState) -> Self {
+        self.role = SupervisorRole::Primary;
+        self.epoch = ckpt.epoch + 1;
+        self.max_epoch_seen = self.epoch;
+        self.next_command_id = self.next_command_id.max(ckpt.next_command_id);
+        self.restored = true;
+        self.stop_unconfirmed = ckpt.stop_unconfirmed;
+        self.ckpt_inflight_ids = ckpt.inflight_ids.clone();
+        if ckpt.degraded || ckpt.stop_unconfirmed {
+            self.degraded = true;
+            self.alarm = Some(if ckpt.stop_unconfirmed {
+                "restored-stop-unconfirmed"
+            } else {
+                "restored-degraded"
+            });
+            self.degraded_log.push((SimTime::ZERO, None));
+        }
         self
     }
 
@@ -515,6 +585,26 @@ impl SupervisorCore {
     /// Command ids the peer reported inflight in its last checkpoint.
     pub fn replicated_inflight_ids(&self) -> &[u64] {
         &self.ckpt_inflight_ids
+    }
+
+    /// Whether this core was rebuilt from a durable checkpoint
+    /// ([`Self::resume_from`]).
+    pub fn restored(&self) -> bool {
+        self.restored
+    }
+
+    /// Snapshots the fencing-relevant state — the same payload the
+    /// replication path sends to a standby, exposed so the serve host
+    /// can journal it durably.
+    pub fn checkpoint_state(&self) -> CheckpointState {
+        CheckpointState {
+            epoch: self.epoch,
+            next_command_id: self.next_command_id,
+            degraded: self.degraded,
+            stop_unconfirmed: self.stop_unconfirmed,
+            inflight_ids: self.inflight.keys().copied().collect(),
+            last_data: self.last_data.iter().map(|(&ep, &t)| (ep, t)).collect(),
+        }
     }
 
     /// Typed access to the hosted app's concrete state.
@@ -658,10 +748,11 @@ impl SupervisorCore {
                     let gap = prev.map(|t| now.saturating_since(t));
                     if gap.is_none_or(|g| g >= FAILSAFE_RELEASE_GAP) && !self.degraded {
                         // `prev == None` covers a freshly promoted
-                        // standby: it has no ack history, but the
-                        // old primary's silence may well have
+                        // standby or a crash-restarted supervisor:
+                        // neither has ack history, but the dead
+                        // predecessor's silence may well have
                         // latched the device.
-                        if self.failovers > 0 || gap.is_some() {
+                        if self.failovers > 0 || self.restored || gap.is_some() {
                             self.send_command(now, out, from, IceCommand::ResumePump);
                         }
                     }
@@ -780,13 +871,14 @@ impl SupervisorCore {
     /// data freshness.
     fn publish_checkpoint(&mut self, out: &mut CoreOutputs) {
         let Some(topic) = self.replication.clone() else { return };
+        let state = self.checkpoint_state();
         let payload = NetPayload::Checkpoint {
-            epoch: self.epoch,
-            next_command_id: self.next_command_id,
-            degraded: self.degraded,
-            stop_unconfirmed: self.stop_unconfirmed,
-            inflight_ids: self.inflight.keys().copied().collect(),
-            last_data: self.last_data.iter().map(|(&ep, &t)| (ep, t)).collect(),
+            epoch: state.epoch,
+            next_command_id: state.next_command_id,
+            degraded: state.degraded,
+            stop_unconfirmed: state.stop_unconfirmed,
+            inflight_ids: state.inflight_ids,
+            last_data: state.last_data,
         };
         out.send(NetAddress::Topic(topic), payload);
     }
@@ -1166,6 +1258,63 @@ mod tests {
         );
         assert_eq!(core.role(), SupervisorRole::Primary, "silence from boot must still promote");
         assert_eq!(core.failovers(), 1);
+    }
+
+    /// Crash-restart fencing: a core resumed from a journaled
+    /// checkpoint must stamp a strictly higher epoch than anything the
+    /// dead predecessor could have sent, never reuse a command id, and
+    /// inherit the safety latches.
+    #[test]
+    fn resume_from_checkpoint_fences_the_predecessor() {
+        let (_, _dev, mut rng, mut out) = rig();
+        let ckpt = CheckpointState {
+            epoch: 3,
+            next_command_id: 41,
+            degraded: true,
+            stop_unconfirmed: true,
+            inflight_ids: vec![39, 40],
+            last_data: vec![(EndpointId::from_index(0), SimTime::from_secs(500))],
+        };
+        let mut fabric = Fabric::new();
+        let dev = fabric.add_endpoint("dev");
+        let sup = fabric.add_endpoint("sup");
+        let core = SupervisorCore::new(PumpOnly, sup, SimDuration::from_secs(2));
+        let mut core = core.resume_from(&ckpt);
+        assert_eq!(core.epoch(), 4, "restart must fence every journaled epoch");
+        assert!(core.restored());
+        assert!(core.is_degraded(), "latches must survive the restart");
+        assert_eq!(core.alarm(), Some("restored-stop-unconfirmed"));
+        assert_eq!(core.replicated_inflight_ids(), &[39, 40]);
+        // The restarted timeline starts at zero; old freshness data is
+        // discarded, not trusted.
+        assert!(core.last_data.is_empty());
+        // First command after a pump associates must use an unseen id.
+        let profile = mcps_device::pump::PcaPump::profile("P-1", false);
+        out.begin(true);
+        core.handle(
+            SimTime::ZERO,
+            CoreInput::Deliver {
+                from: dev,
+                payload: NetPayload::Announce { profile, endpoint: dev },
+            },
+            &mut rng,
+            &mut out,
+        );
+        out.begin(true);
+        core.handle(SimTime::from_secs(1), CoreInput::Tick, &mut rng, &mut out);
+        let ids: Vec<u64> = out
+            .sends
+            .iter()
+            .filter_map(|(_, p)| match p {
+                NetPayload::Command { id, epoch, .. } => {
+                    assert_eq!(*epoch, 4, "every post-restart command carries the new epoch");
+                    Some(*id)
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(!ids.is_empty(), "degraded + stop-unconfirmed core must probe with stops");
+        assert!(ids.iter().all(|&id| id >= 41), "command ids must not reuse the journaled range");
     }
 
     #[test]

@@ -23,7 +23,10 @@ use mcps_net::fabric::EndpointId;
 use mcps_patient::patient::{PatientParams, VirtualPatient};
 use mcps_patient::vitals::VitalKind;
 use mcps_sim::prelude::{Actor, ActorId, Context, Simulation};
+use mcps_sim::rng::{RngFactory, SimRng};
 use mcps_sim::time::SimTime;
+use rand::Rng;
+use std::time::{Duration, Instant};
 
 /// The pulse oximeter's endpoint on a serve-mode bed.
 pub const OX_EP: EndpointId = EndpointId::from_index(0);
@@ -50,6 +53,29 @@ impl Actor<IceMsg> for Relay {
     }
 }
 
+/// Re-dial policy for a client with a [`dialer`](PcaBedClient::with_reconnect):
+/// bounded exponential backoff with multiplicative jitter.
+///
+/// Attempt `n` (zero-based) waits `min(max_ms, base_ms * 2^n)` scaled
+/// by a uniform factor in `[0.5, 1.5)` drawn from a seeded stream —
+/// deterministic per seed, but a fleet of beds with distinct seeds
+/// won't stampede a restarted host in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconnectPolicy {
+    /// First-attempt backoff, in wall milliseconds.
+    pub base_ms: u64,
+    /// Backoff ceiling, in wall milliseconds.
+    pub max_ms: u64,
+    /// Seed for the jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy { base_ms: 20, max_ms: 2_000, jitter_seed: 11 }
+    }
+}
+
 /// One PCA bed talking to a remote supervisor over a transport.
 pub struct PcaBedClient<T: Transport> {
     sim: Simulation<IceMsg>,
@@ -58,6 +84,15 @@ pub struct PcaBedClient<T: Transport> {
     transport: T,
     clock: ServeClock,
     closed: bool,
+    /// Produces a fresh transport on re-dial (`None` = dial failed,
+    /// try again later). Absent: a transport error is permanent.
+    dialer: Option<Box<dyn FnMut() -> Option<T>>>,
+    policy: ReconnectPolicy,
+    jitter: SimRng,
+    attempt: u32,
+    next_dial_at: Option<Instant>,
+    reconnects: u64,
+    dial_failures: u64,
 }
 
 impl<T: Transport> std::fmt::Debug for PcaBedClient<T> {
@@ -75,10 +110,53 @@ impl<T: Transport> PcaBedClient<T> {
         let body = PatientBody::new(VirtualPatient::new(PatientParams::default()));
         let pump_actor =
             PumpActor::new(PcaPump::new(PcaPumpConfig::default()), body, relay, PUMP_EP)
-                .with_supervision(LOCAL_FAILSAFE_DEADLINE);
+                .with_supervision(LOCAL_FAILSAFE_DEADLINE)
+                .with_fast_reannounce();
         let pump = sim.add_actor("pump", pump_actor);
         sim.schedule(SimTime::ZERO, pump, IceMsg::Tick);
-        PcaBedClient { sim, relay, pump, transport, clock: ServeClock::new(speed), closed: false }
+        PcaBedClient {
+            sim,
+            relay,
+            pump,
+            transport,
+            clock: ServeClock::new(speed),
+            closed: false,
+            dialer: None,
+            policy: ReconnectPolicy::default(),
+            jitter: RngFactory::new(11).stream("bed-reconnect"),
+            attempt: 0,
+            next_dial_at: None,
+            reconnects: 0,
+            dial_failures: 0,
+        }
+    }
+
+    /// Arms automatic reconnection: on a transport error the client
+    /// re-dials via `dialer` under `policy`'s backoff, re-announces its
+    /// monitors on success, and resumes. (The pump re-associates
+    /// itself through its own announces — at the fast unsupervised
+    /// retry cadence, so one corrupted announce does not cost a full
+    /// announce period.) Without this, a transport error permanently
+    /// closes the client.
+    pub fn with_reconnect(
+        mut self,
+        dialer: impl FnMut() -> Option<T> + 'static,
+        policy: ReconnectPolicy,
+    ) -> Self {
+        self.dialer = Some(Box::new(dialer));
+        self.policy = policy;
+        self.jitter = RngFactory::new(policy.jitter_seed).stream("bed-reconnect");
+        self
+    }
+
+    /// Successful re-dials so far.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Failed dial attempts so far.
+    pub fn dial_failures(&self) -> u64 {
+        self.dial_failures
     }
 
     /// The client's position on the (sped-up) simulation timeline.
@@ -124,12 +202,18 @@ impl<T: Transport> PcaBedClient<T> {
         self.sim.schedule(at, self.pump, IceMsg::PressButton);
     }
 
-    /// One client round: deliver traffic from the supervisor to the
-    /// pump, advance the bed simulation to wall-now, forward the pump's
-    /// outgoing traffic. Safe to call after the server has died — the
-    /// bed keeps running (that is the point of the crash harness).
+    /// One client round: attempt any due re-dial, deliver traffic from
+    /// the supervisor to the pump, advance the bed simulation to
+    /// wall-now, forward the pump's outgoing traffic. Safe to call
+    /// after the server has died — the bed keeps running (that is the
+    /// point of the crash harness), and with a dialer armed it finds
+    /// its way back.
     pub fn step(&mut self) {
+        self.try_reconnect();
         loop {
+            if self.closed {
+                break;
+            }
             match self.transport.try_recv() {
                 Ok(Some(NetOp::Send { from, to, payload })) => {
                     // Only the pump lives here; traffic for other
@@ -149,7 +233,7 @@ impl<T: Transport> PcaBedClient<T> {
                 Ok(Some(NetOp::Deliver { .. })) => {}
                 Ok(None) => break,
                 Err(_) => {
-                    self.closed = true;
+                    self.on_disconnect();
                     break;
                 }
             }
@@ -194,8 +278,60 @@ impl<T: Transport> PcaBedClient<T> {
         }
         match self.transport.send(&op) {
             Ok(()) => {}
-            Err(TransportError::Closed) => self.closed = true,
-            Err(TransportError::Io(_)) => self.closed = true,
+            Err(TransportError::Closed) | Err(TransportError::Io(_)) => self.on_disconnect(),
+        }
+    }
+
+    /// Marks the link down and, with a dialer armed, schedules the
+    /// next dial attempt under the backoff policy.
+    fn on_disconnect(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        if self.dialer.is_some() {
+            self.schedule_dial();
+        }
+    }
+
+    fn schedule_dial(&mut self) {
+        let expo = self
+            .policy
+            .base_ms
+            .saturating_mul(1u64.checked_shl(self.attempt).unwrap_or(u64::MAX))
+            .min(self.policy.max_ms);
+        let jitter: f64 = self.jitter.gen_range(0.5..1.5);
+        let delay_ms = (expo as f64 * jitter).round() as u64;
+        self.next_dial_at = Some(Instant::now() + Duration::from_millis(delay_ms));
+    }
+
+    /// Attempts a scheduled re-dial, if one is due.
+    fn try_reconnect(&mut self) {
+        if !self.closed || self.dialer.is_none() {
+            return;
+        }
+        let Some(due) = self.next_dial_at else { return };
+        if Instant::now() < due {
+            return;
+        }
+        let dialed = self.dialer.as_mut().expect("checked dialer")();
+        match dialed {
+            Some(transport) => {
+                self.transport = transport;
+                self.closed = false;
+                self.attempt = 0;
+                self.next_dial_at = None;
+                self.reconnects += 1;
+                // Monitors are scripted (no actor re-announces them):
+                // do it here so the interlock can re-associate. The
+                // pump's own periodic announce re-binds its endpoint.
+                self.announce_monitors();
+            }
+            None => {
+                self.dial_failures += 1;
+                self.attempt = self.attempt.saturating_add(1);
+                self.schedule_dial();
+            }
         }
     }
 }

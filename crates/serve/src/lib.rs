@@ -8,10 +8,16 @@
 //! and real I/O:
 //!
 //! * [`wire`] — a self-synchronizing length-prefixed frame codec
-//!   (magic + length + JSON payload) that survives partial reads and
-//!   garbage without desyncing.
+//!   (magic + length + CRC32 + JSON payload) that survives partial
+//!   reads, garbage, and bit flips without desyncing.
 //! * [`transport`] — the [`transport::Transport`] trait with in-memory
 //!   channel, stdio-frame and TCP-frame implementations.
+//! * [`chaos`] — [`chaos::ChaosTransport`], a deterministic fault
+//!   injector (drop, delay, duplicate, reorder, truncate, bit-flip)
+//!   wrapping any inner transport, for soak and chaos tests.
+//! * [`journal`] — [`journal::Journal`], a durable CRC-framed WAL of
+//!   supervisor checkpoints so a killed `mcps-serve` restarts with a
+//!   strictly higher epoch and its safety latches intact.
 //! * [`clock`] — wall time → simulation time, with a speed factor so
 //!   tests compress protocol minutes into wall milliseconds.
 //! * [`host`] — [`host::ServeHost`], the serving loop: exact-cadence
@@ -28,14 +34,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod clock;
 pub mod host;
+pub mod journal;
 pub mod transport;
 pub mod wire;
 
-pub use client::PcaBedClient;
+pub use chaos::{ChaosConfig, ChaosStats, ChaosTransport};
+pub use client::{PcaBedClient, ReconnectPolicy};
 pub use clock::ServeClock;
 pub use host::{ServeConfig, ServeHost, ServeStats};
+pub use journal::{Journal, Recovery};
 pub use transport::{ChannelTransport, FramedTransport, Transport, TransportError};
 pub use wire::{encode_frame, FrameDecoder};

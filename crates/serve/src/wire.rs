@@ -1,22 +1,56 @@
 //! The length-prefixed frame codec for serve-mode transports.
 //!
-//! A frame is `MAGIC (4 bytes) ++ length (u32 LE) ++ payload`, where
-//! the payload is the JSON serialization of one [`NetOp`]. The magic
-//! makes the stream self-synchronizing: a decoder that lands mid-frame
-//! (or is fed garbage) scans forward to the next magic instead of
-//! misinterpreting arbitrary bytes as a length and desynchronizing
-//! forever. The scan advances one byte at a time past a bad candidate,
-//! so a true frame start inside the skipped region is never jumped
-//! over.
+//! A frame is `MAGIC (4 bytes) ++ length (u32 LE) ++ header crc32
+//! (u32 LE, over magic ++ length) ++ payload crc32 (u32 LE) ++
+//! payload`, where the payload is the JSON serialization of one
+//! [`NetOp`]. The magic makes the stream self-synchronizing: a decoder
+//! that lands mid-frame (or is fed garbage) scans forward to the next
+//! magic instead of misinterpreting arbitrary bytes as a length and
+//! desynchronizing forever. The scan advances one byte at a time past
+//! a bad candidate, so a true frame start inside the skipped region is
+//! never jumped over.
+//!
+//! The CRCs are the chaos-hardening half. The payload checksum: a JSON
+//! payload with a few flipped bits usually fails to parse, but
+//! *usually* is not a safety argument — a lucky flip inside a numeric
+//! field still parses and would silently alter a command id or fencing
+//! epoch (a corrupted high epoch would poison a device's fence and
+//! lock every later legitimate supervisor out). The *header* checksum
+//! protects the length field itself: without it, one flipped bit in
+//! the length makes the decoder trust a phantom frame of up to
+//! [`MAX_FRAME`] bytes and stall — buffering, not delivering — until
+//! that much real traffic has accumulated behind the corruption. With
+//! both checksums a corrupted frame is rejected deterministically and
+//! at once, the decoder resyncs, and the protocol's retry/heartbeat
+//! machinery covers the loss.
 
 use mcps_core::msg::NetOp;
 
 /// Frame start marker.
 pub const MAGIC: [u8; 4] = *b"MCP1";
 
+/// Bytes before the payload: magic, length, header CRC32, payload
+/// CRC32.
+pub const HEADER_LEN: usize = 16;
+
 /// Upper bound on a frame payload. Real payloads are a few KiB
 /// (profiles are the largest); anything claiming more is corruption.
 pub const MAX_FRAME: usize = 1 << 20;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial) over `bytes` — the same
+/// checksum the journal uses for its records. Bitwise, no table: the
+/// inputs are protocol-sized, not bulk data.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 /// Encodes one [`NetOp`] as a framed byte sequence.
 ///
@@ -27,9 +61,12 @@ pub const MAX_FRAME: usize = 1 << 20;
 pub fn encode_frame(op: &NetOp) -> Vec<u8> {
     let body = serde_json::to_string(op).expect("NetOp serializes");
     let body = body.as_bytes();
-    let mut frame = Vec::with_capacity(8 + body.len());
+    let mut frame = Vec::with_capacity(HEADER_LEN + body.len());
     frame.extend_from_slice(&MAGIC);
     frame.extend_from_slice(&u32::try_from(body.len()).expect("frame < 4 GiB").to_le_bytes());
+    let hcrc = crc32(&frame[..8]);
+    frame.extend_from_slice(&hcrc.to_le_bytes());
+    frame.extend_from_slice(&crc32(body).to_le_bytes());
     frame.extend_from_slice(body);
     frame
 }
@@ -48,6 +85,7 @@ pub struct FrameDecoder {
     garbage_bytes: u64,
     frames_rejected: u64,
     frames_decoded: u64,
+    crc_rejected: u64,
 }
 
 impl FrameDecoder {
@@ -73,9 +111,15 @@ impl FrameDecoder {
     }
 
     /// Frames whose header or payload was rejected (oversized length,
-    /// unparseable payload).
+    /// checksum mismatch, unparseable payload).
     pub fn frames_rejected(&self) -> u64 {
         self.frames_rejected
+    }
+
+    /// The subset of [`Self::frames_rejected`] caught by the payload
+    /// checksum (corruption that might otherwise have parsed).
+    pub fn crc_rejected(&self) -> u64 {
+        self.crc_rejected
     }
 
     /// Frames successfully decoded.
@@ -88,35 +132,60 @@ impl FrameDecoder {
         loop {
             self.seek_magic();
             let avail = &self.buf[self.pos..];
-            if avail.len() < 8 {
+            if avail.len() < HEADER_LEN {
                 return None;
             }
             let len = u32::from_le_bytes([avail[4], avail[5], avail[6], avail[7]]) as usize;
+            let want_hcrc = u32::from_le_bytes([avail[8], avail[9], avail[10], avail[11]]);
+            let want_crc = u32::from_le_bytes([avail[12], avail[13], avail[14], avail[15]]);
+            if crc32(&avail[..8]) != want_hcrc {
+                // The length field can't be trusted. Rejecting here —
+                // before waiting for `len` payload bytes — is what
+                // keeps a corrupted length from stalling the stream:
+                // trusting it would buffer up to MAX_FRAME bytes of
+                // live traffic behind a phantom frame that never
+                // completes.
+                self.frames_rejected += 1;
+                self.crc_rejected += 1;
+                self.pos += 1;
+                self.garbage_bytes += 1;
+                continue;
+            }
             if len > MAX_FRAME {
-                // A corrupt length. Advance one byte (not past the
-                // whole claimed frame): if this was noise that happened
-                // to contain the magic, the real frame behind it is
-                // still reachable.
+                // A corrupt length that checksums (hostile rather than
+                // noisy input). Advance one byte (not past the whole
+                // claimed frame): if this was noise that happened to
+                // contain the magic, the real frame behind it is still
+                // reachable.
                 self.frames_rejected += 1;
                 self.pos += 1;
                 self.garbage_bytes += 1;
                 continue;
             }
-            if avail.len() < 8 + len {
+            if avail.len() < HEADER_LEN + len {
                 return None;
             }
-            let payload = &avail[8..8 + len];
+            let payload = &avail[HEADER_LEN..HEADER_LEN + len];
+            if crc32(payload) != want_crc {
+                // The bytes under this magic fail their checksum.
+                // Resync one byte forward rather than skipping the
+                // claimed length — the next true frame may start
+                // anywhere inside it.
+                self.frames_rejected += 1;
+                self.crc_rejected += 1;
+                self.pos += 1;
+                self.garbage_bytes += 1;
+                continue;
+            }
             match std::str::from_utf8(payload).ok().and_then(|s| serde_json::from_str(s).ok()) {
                 Some(op) => {
-                    self.pos += 8 + len;
+                    self.pos += HEADER_LEN + len;
                     self.frames_decoded += 1;
                     return Some(op);
                 }
                 None => {
-                    // The bytes under this magic are not a frame.
-                    // Resync one byte forward rather than skipping the
-                    // claimed length — the next true frame may start
-                    // anywhere inside it.
+                    // Checksum-valid but not a frame (garbage that
+                    // checksums itself); same one-byte resync.
                     self.frames_rejected += 1;
                     self.pos += 1;
                     self.garbage_bytes += 1;
@@ -219,5 +288,64 @@ mod tests {
         dec.push(&encode_frame(&op));
         assert_eq!(dec.next_frame(), Some(op));
         assert!(dec.frames_rejected() >= 1);
+    }
+
+    /// Every single-bit corruption of a frame's payload must be caught
+    /// by the checksum (never silently decoded as altered content), and
+    /// the stream must recover on the next clean frame.
+    #[test]
+    fn any_payload_bit_flip_is_rejected_and_stream_recovers() {
+        let op = sample(3);
+        let clean = encode_frame(&op);
+        let follow = sample(4);
+        for byte in HEADER_LEN..clean.len() {
+            for bit in 0..8 {
+                let mut corrupted = clean.clone();
+                corrupted[byte] ^= 1 << bit;
+                let mut dec = FrameDecoder::new();
+                dec.push(&corrupted);
+                dec.push(&encode_frame(&follow));
+                assert_eq!(
+                    dec.next_frame(),
+                    Some(follow.clone()),
+                    "flip at byte {byte} bit {bit} produced a wrong decode"
+                );
+                assert!(dec.crc_rejected() >= 1, "flip at byte {byte} bit {bit} evaded the CRC");
+            }
+        }
+    }
+
+    /// Every single-bit corruption of a frame's *header* must be
+    /// rejected immediately — in particular, a flipped length bit must
+    /// not leave the decoder waiting for a phantom payload that
+    /// swallows (and stalls) every frame behind it.
+    #[test]
+    fn any_header_bit_flip_is_rejected_without_stalling() {
+        let op = sample(5);
+        let clean = encode_frame(&op);
+        let follow = sample(6);
+        for byte in 0..HEADER_LEN {
+            for bit in 0..8 {
+                let mut corrupted = clean.clone();
+                corrupted[byte] ^= 1 << bit;
+                let mut dec = FrameDecoder::new();
+                dec.push(&corrupted);
+                // The follow frame is *smaller* than any inflated
+                // length claim could demand, so it only decodes if the
+                // corrupt header was rejected rather than trusted.
+                dec.push(&encode_frame(&follow));
+                assert_eq!(
+                    dec.next_frame(),
+                    Some(follow.clone()),
+                    "flip at header byte {byte} bit {bit} stalled or desynced the stream"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 }

@@ -54,7 +54,13 @@ fn live_association_then_danger_stops_pump() {
     let mut host = ServeHost::new(
         command_core(),
         server_t,
-        ServeConfig { speed: SPEED, ingress_capacity: 64, trace: false, seed: 1 },
+        ServeConfig {
+            speed: SPEED,
+            ingress_capacity: 64,
+            trace: false,
+            seed: 1,
+            ..Default::default()
+        },
     );
     let mut client = PcaBedClient::new(client_t, SPEED);
     client.announce_monitors();
@@ -96,7 +102,13 @@ fn host_survives_client_disconnect() {
     let mut host = ServeHost::new(
         command_core(),
         server_t,
-        ServeConfig { speed: SPEED, ingress_capacity: 64, trace: false, seed: 2 },
+        ServeConfig {
+            speed: SPEED,
+            ingress_capacity: 64,
+            trace: false,
+            seed: 2,
+            ..Default::default()
+        },
     );
     let client = PcaBedClient::new(client_t, SPEED);
     drop(client);

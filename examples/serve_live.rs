@@ -35,7 +35,13 @@ fn main() {
     let mut host = ServeHost::new(
         core,
         server_t,
-        ServeConfig { speed: SPEED, ingress_capacity: 128, trace: false, seed: 9 },
+        ServeConfig {
+            speed: SPEED,
+            ingress_capacity: 128,
+            trace: false,
+            seed: 9,
+            ..Default::default()
+        },
     );
     let mut client = PcaBedClient::new(client_t, SPEED);
 
